@@ -1,0 +1,50 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each ``test_bench_*`` file regenerates one table/figure of the paper. The
+underlying simulations are cached on disk (``benchmarks/.bench_cache``), so
+re-running a bench, or running several benches that share runs (Figure 1 and
+Figure 3 use the same sweep), pays each simulation once.
+
+Scale the run length with ``REPRO_BENCH_SCALE`` (default 1.0); e.g.
+``REPRO_BENCH_SCALE=0.3 pytest benchmarks/ --benchmark-only`` for a quick
+pass. The qualitative checks may become noisy below ~0.5.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import ExperimentRunner
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+CACHE_DIR = Path(__file__).parent / ".bench_cache"
+
+
+def bench_simcfg() -> SimulationConfig:
+    return SimulationConfig().scaled(SCALE)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner("baseline", bench_simcfg(), cache_dir=CACHE_DIR / f"s{SCALE}")
+
+
+def report(result) -> None:
+    """Print the regenerated table (visible with pytest -s or on failure)."""
+    print()
+    print(result.to_text())
+
+
+def assert_checks(result, min_pass_fraction: float = 0.8) -> None:
+    """Benches tolerate a small number of band misses at reduced scale but
+    fail loudly when the reproduction shape breaks."""
+    total = len(result.checks)
+    passed = sum(result.checks.values())
+    assert total == 0 or passed / total >= min_pass_fraction, (
+        f"{result.name}: only {passed}/{total} reproduction checks passed:\n"
+        + "\n".join(f"  [{'PASS' if ok else 'MISS'}] {d}" for d, ok in result.checks.items())
+    )

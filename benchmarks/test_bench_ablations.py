@@ -1,0 +1,163 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these sweep the parameters the paper reports as
+*tuned* (the 15-cycle L2-declare threshold, DG's n=1) and the mechanisms it
+*argues for* (DWarn's hybrid gating at 2 threads; acting on L1 misses early
+rather than waiting for the L2 declaration).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import bench_simcfg, report
+
+from repro.config import baseline
+from repro.core import DataGatingPolicy, DWarnPolicy, Simulator, make_policy
+from repro.experiments.runner import ExperimentResult
+from repro.workloads import build_programs, get_workload
+
+
+def run_with(machine, workload, policy, simcfg):
+    programs = build_programs(get_workload(workload), simcfg)
+    return Simulator(machine, programs, policy, simcfg).run()
+
+
+def test_bench_ablation_l2declare(benchmark):
+    """STALL's declare threshold: the paper tuned 15 for its baseline; the
+    tradeoff is reaction delay vs false positives. In our model only true L2
+    misses can exceed the threshold, so going below the L2-hit latency (11)
+    would start gating on L2 *hits* — we sweep above and below the paper
+    value and report the shape."""
+    simcfg = bench_simcfg()
+    machine = baseline()
+
+    def sweep():
+        rows = []
+        for threshold in (12, 15, 25, 60):
+            m = machine.with_mem(l2_declare_cycles=threshold)
+            res = run_with(m, "4-MIX", make_policy("stall"), simcfg)
+            rows.append([threshold, round(res.throughput, 3)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(ExperimentResult(
+        name="ablation-l2declare",
+        title="Ablation — STALL declare threshold (4-MIX throughput)",
+        headers=["declare cycles", "throughput"],
+        rows=rows,
+    ))
+    by_thresh = dict((r[0], r[1]) for r in rows)
+    # Reacting very late forfeits most of STALL's benefit vs. reacting at 15.
+    assert by_thresh[15] >= by_thresh[60] - 0.15
+
+
+def test_bench_ablation_dg_threshold(benchmark):
+    """DG's gating threshold n: the paper (and [3]) use n=1. Larger n gates
+    later and decays toward ICOUNT."""
+    simcfg = bench_simcfg()
+    machine = baseline()
+
+    def sweep():
+        rows = []
+        for n in (1, 2, 4, 8):
+            res = run_with(machine, "8-MIX", DataGatingPolicy(threshold=n), simcfg)
+            rows.append([n, round(res.throughput, 3)])
+        res_ic = run_with(machine, "8-MIX", make_policy("icount"), simcfg)
+        rows.append(["icount", round(res_ic.throughput, 3)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(ExperimentResult(
+        name="ablation-dg-threshold",
+        title="Ablation — DG outstanding-miss threshold (8-MIX throughput)",
+        headers=["n", "throughput"],
+        rows=rows,
+    ))
+    vals = {r[0]: r[1] for r in rows}
+    # n=8 barely gates: it should sit near ICOUNT, far from n=1's behaviour.
+    assert abs(vals[8] - vals["icount"]) <= abs(vals[1] - vals["icount"]) + 0.2
+
+
+def test_bench_ablation_dwarn_hybrid(benchmark):
+    """The hybrid RA (§5.2): at 2 threads, priority reduction alone cannot
+    keep a Dmiss thread out of the pipeline; gating on the real L2 miss
+    should win on 2-thread MEM/MIX workloads."""
+    simcfg = bench_simcfg()
+    machine = baseline()
+
+    def sweep():
+        rows = []
+        for wl in ("2-MIX", "2-MEM", "4-MEM"):
+            hybrid = run_with(machine, wl, DWarnPolicy(hybrid=True), simcfg)
+            pure = run_with(machine, wl, DWarnPolicy(hybrid=False), simcfg)
+            rows.append([wl, round(hybrid.throughput, 3), round(pure.throughput, 3),
+                         round(100 * (hybrid.throughput / pure.throughput - 1), 1)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(ExperimentResult(
+        name="ablation-dwarn-hybrid",
+        title="Ablation — DWarn hybrid L2-gating vs pure prioritization",
+        headers=["workload", "hybrid", "pure", "gain %"],
+        rows=rows,
+    ))
+    gains = {r[0]: r[3] for r in rows}
+    # 2-thread workloads benefit from the hybrid gate.
+    assert gains["2-MEM"] > -2.0
+    # At 4 threads the hybrid gate is inert by design: identical results.
+    assert abs(gains["4-MEM"]) < 1e-9
+
+
+def test_bench_ablation_fetch_threads(benchmark):
+    """§6's fetch-mechanism observation, run on the baseline machine: with a
+    1.8 fetch (one thread per cycle) DWarn's Dmiss threads cannot leak into
+    leftover slots, but MEM threads are starved outright."""
+    simcfg = bench_simcfg()
+
+    def sweep():
+        rows = []
+        for x in (1, 2):
+            machine = baseline().with_proc(fetch_threads=x).renamed(f"baseline-{x}.8")
+            res = run_with(machine, "4-MIX", make_policy("dwarn"), simcfg)
+            mcf_slot = res.benchmarks.index("mcf")
+            rows.append([f"{x}.8", round(res.throughput, 3), round(res.ipc[mcf_slot], 3)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(ExperimentResult(
+        name="ablation-fetch-threads",
+        title="Ablation — DWarn under 1.8 vs 2.8 fetch (4-MIX)",
+        headers=["fetch", "throughput", "mcf IPC"],
+        rows=rows,
+    ))
+    # The MEM thread does worse when it can never share a fetch cycle.
+    assert rows[0][2] <= rows[1][2] + 0.05
+
+
+def test_bench_ablation_dwarn_threshold(benchmark):
+    """DWarn classification threshold: the paper's counter demotes a thread
+    on its *first* in-flight miss (threshold 1). Higher thresholds tolerate
+    short bursts and decay toward ICOUNT."""
+    simcfg = bench_simcfg()
+    machine = baseline()
+
+    def sweep():
+        rows = []
+        for k in (1, 2, 4, 8):
+            res = run_with(machine, "4-MIX", DWarnPolicy(dmiss_threshold=k), simcfg)
+            rows.append([k, round(res.throughput, 3)])
+        res_ic = run_with(machine, "4-MIX", make_policy("icount"), simcfg)
+        rows.append(["icount", round(res_ic.throughput, 3)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(ExperimentResult(
+        name="ablation-dwarn-threshold",
+        title="Ablation — DWarn Dmiss-classification threshold (4-MIX throughput)",
+        headers=["threshold", "throughput"],
+        rows=rows,
+    ))
+    vals = {r[0]: r[1] for r in rows}
+    # A huge threshold rarely classifies anyone: closer to ICOUNT than k=1 is.
+    assert abs(vals[8] - vals["icount"]) <= abs(vals[1] - vals["icount"]) + 0.25

@@ -1,0 +1,54 @@
+"""Extension bench: re-verify Tullsen et al.'s premise that ICOUNT beats the
+simpler policies (RR/BRCOUNT/MISSCOUNT) — the reason the paper builds every
+evaluated mechanism on top of ICOUNT.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from conftest import bench_simcfg, report
+
+from repro.config import baseline
+from repro.core import Simulator, make_policy
+from repro.experiments.runner import ExperimentResult
+from repro.workloads import build_programs, get_workload
+
+POLICIES = ("rr", "brcount", "misscount", "icount", "dwarn")
+WORKLOADS = ("4-ILP", "4-MIX", "8-ILP", "8-MIX")
+
+
+def test_bench_ext_classic_policies(benchmark):
+    simcfg = bench_simcfg()
+    machine = baseline()
+
+    def sweep():
+        matrix = {}
+        for wl in WORKLOADS:
+            programs = build_programs(get_workload(wl), simcfg)
+            matrix[wl] = {}
+            for pol in POLICIES:
+                sim = Simulator(machine, build_programs(get_workload(wl), simcfg),
+                                make_policy(pol), simcfg)
+                matrix[wl][pol] = sim.run().throughput
+        return matrix
+
+    matrix = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [wl] + [round(matrix[wl][p], 3) for p in POLICIES] for wl in WORKLOADS
+    ]
+    avg = {p: mean(matrix[wl][p] for wl in WORKLOADS) for p in POLICIES}
+    rows.append(["avg"] + [round(avg[p], 3) for p in POLICIES])
+    report(ExperimentResult(
+        name="ext-classic",
+        title="Extension — classic fetch policies vs ICOUNT vs DWarn (throughput)",
+        headers=["workload"] + list(POLICIES),
+        rows=rows,
+    ))
+
+    # Tullsen's result: feedback beats round-robin; ICOUNT is the strongest
+    # of the simple feedback policies on average.
+    assert avg["icount"] > avg["rr"]
+    assert avg["icount"] >= avg["brcount"] - 0.1
+    # And the paper's result: DWarn improves on ICOUNT overall.
+    assert avg["dwarn"] > avg["rr"]

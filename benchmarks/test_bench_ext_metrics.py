@@ -1,0 +1,13 @@
+"""Extension bench: policy rankings under throughput vs WSpeedup vs Hmean."""
+
+from __future__ import annotations
+
+from conftest import assert_checks, report
+
+from repro.experiments import ext_metrics
+
+
+def test_bench_ext_metrics(benchmark, runner):
+    result = benchmark.pedantic(ext_metrics.run, args=(runner,), rounds=1, iterations=1)
+    report(result)
+    assert_checks(result, min_pass_fraction=0.6)

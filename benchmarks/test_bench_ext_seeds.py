@@ -1,0 +1,13 @@
+"""Extension bench: seed robustness of DWarn vs ICOUNT vs FLUSH."""
+
+from __future__ import annotations
+
+from conftest import assert_checks, report
+
+from repro.experiments import ext_seeds
+
+
+def test_bench_ext_seeds(benchmark, runner):
+    result = benchmark.pedantic(ext_seeds.run, args=(runner,), rounds=1, iterations=1)
+    report(result)
+    assert_checks(result, min_pass_fraction=0.5)

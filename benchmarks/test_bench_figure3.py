@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure3 of the paper's evaluation."""
+
+from __future__ import annotations
+
+from conftest import assert_checks, report
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark, runner):
+    result = benchmark.pedantic(figure3.run, args=(runner,), rounds=1, iterations=1)
+    report(result)
+    benchmark.extra_info["checks_passed"] = sum(result.checks.values())
+    benchmark.extra_info["checks_total"] = len(result.checks)
+    assert_checks(result)

@@ -1,0 +1,48 @@
+"""Microbenchmarks: raw simulator performance (cycles/second).
+
+These are engineering benchmarks, not paper reproductions: they track the
+hot-loop speed the figure sweeps depend on (guides: measure, don't guess).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig, baseline
+from repro.core import Simulator, make_policy
+from repro.workloads import build_programs, get_workload
+
+CYCLES = 4_000
+
+
+def make_sim(workload: str, policy: str) -> Simulator:
+    simcfg = SimulationConfig(warmup_cycles=0, measure_cycles=CYCLES, trace_length=20_000)
+    programs = build_programs(get_workload(workload), simcfg)
+    return Simulator(baseline(), programs, make_policy(policy), simcfg)
+
+
+@pytest.mark.parametrize("workload", ["2-ILP", "4-MIX", "8-MEM"])
+def test_bench_cycles_per_second(benchmark, workload):
+    def run_once():
+        sim = make_sim(workload, "dwarn")
+        sim.run_cycles(CYCLES)
+        return sim
+
+    sim = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    secs = benchmark.stats["mean"]
+    benchmark.extra_info["cycles_per_second"] = round(CYCLES / secs)
+    benchmark.extra_info["committed"] = sum(sim.stats.committed)
+    # Guard against catastrophic slowdowns: the figure sweeps assume at
+    # least ~5k simulated cycles/second.
+    assert CYCLES / secs > 2_000
+
+
+def test_bench_trace_generation(benchmark):
+    from repro.trace import generate_trace, get_profile, clear_trace_cache
+
+    def gen():
+        clear_trace_cache()
+        return generate_trace(get_profile("gcc"), 60_000, 0, seed=123)
+
+    trace = benchmark.pedantic(gen, rounds=3, iterations=1)
+    assert len(trace) == 60_000

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 2(a) — isolated benchmark cache behaviour."""
+
+from __future__ import annotations
+
+from conftest import assert_checks, report
+
+from repro.experiments import table2a
+
+
+def test_bench_table2a(benchmark, runner):
+    result = benchmark.pedantic(table2a.run, args=(runner,), rounds=1, iterations=1)
+    report(result)
+    benchmark.extra_info["checks_passed"] = sum(result.checks.values())
+    benchmark.extra_info["checks_total"] = len(result.checks)
+    assert_checks(result, min_pass_fraction=0.85)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Extending the simulator: write your own fetch policy in ~30 lines.
+
+The paper frames every policy as a (detection moment, response action) pair
+— Table 1. This example fills an empty cell of that table: **L2Warn**, which
+uses DWarn's *reduce priority* response action but the *actual L2 miss* as
+its detection moment (later but perfectly reliable — the opposite tradeoff
+to PDG's early-but-unreliable predictor).
+
+It subclasses :class:`repro.core.FetchPolicy`, hooks the ``on_l2_miss`` /
+``on_l1d_fill`` events, and races the result against DWarn and ICOUNT.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro import SimulationConfig, Simulator, baseline, make_policy
+from repro.core.policies.base import FetchPolicy
+from repro.metrics.reporting import format_table
+from repro.workloads import build_programs, get_workload
+
+
+class L2WarnPolicy(FetchPolicy):
+    """Deprioritize threads with in-flight *L2* misses (not L1 misses).
+
+    Detection moment: the actual L2-probe outcome — one L2 access after the
+    L1 miss. Response action: DWarn-style two-group prioritization. The
+    tradeoff to watch: by the time the L2 miss is known, the thread has had
+    ~11 more cycles of full-priority fetch than under DWarn.
+    """
+
+    name = "l2warn"
+
+    def setup(self) -> None:
+        # In-flight L2 misses per context (the analogue of DWarn's counter).
+        self._l2miss = [0] * self.sim.num_threads
+
+    def fetch_order(self) -> list[int]:
+        counters = self._l2miss
+        normal = [t for t in range(self.sim.num_threads) if counters[t] == 0]
+        delinquent = [t for t in range(self.sim.num_threads) if counters[t] > 0]
+        return self.icount_order(normal) + self.icount_order(delinquent)
+
+    def on_l2_miss(self, i) -> None:
+        self._l2miss[i.tid] += 1
+        i.pmeta = "counted"
+
+    def on_l1d_fill(self, i) -> None:
+        if i.pmeta == "counted":
+            self._l2miss[i.tid] -= 1
+            i.pmeta = None
+
+
+def run(workload: str, policy) -> tuple[float, list[float]]:
+    simcfg = SimulationConfig()
+    programs = build_programs(get_workload(workload), simcfg)
+    res = Simulator(baseline(), programs, policy, simcfg).run()
+    return res.throughput, res.ipc
+
+
+def main() -> None:
+    rows = []
+    for wl in ("4-MIX", "4-MEM"):
+        for make in (lambda: make_policy("icount"),
+                     lambda: make_policy("dwarn"),
+                     L2WarnPolicy):
+            policy = make()
+            thr, ipc = run(wl, policy)
+            rows.append([wl, policy.name, round(thr, 3)]
+                        + [round(x, 2) for x in ipc])
+
+    headers = ["workload", "policy", "throughput", "t0", "t1", "t2", "t3"]
+    print(format_table(headers, rows, title="L2Warn vs DWarn vs ICOUNT"))
+    print()
+    print("L2Warn typically lands between ICOUNT and DWarn: same response")
+    print("action, later detection moment — exactly the paper's Table 1 logic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Branch prediction substrate: gshare + BTB + per-context RAS.
+
+The front end predicts every fetched branch; mispredictions send the thread
+down a synthetic wrong path (supplied by :mod:`repro.trace.wrongpath`) until
+the branch resolves at execute, exactly like SMTSIM's separate basic-block
+dictionary mechanism that the paper describes in §4.
+"""
+
+from repro.branch.gshare import GShare
+from repro.branch.btb import BTB
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.predictor import FrontEndPredictor, Prediction
+
+__all__ = ["GShare", "BTB", "ReturnAddressStack", "FrontEndPredictor", "Prediction"]

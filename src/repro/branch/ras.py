@@ -1,0 +1,48 @@
+"""Return address stack, one per hardware context (256 entries in Table 3).
+
+The RAS is a circular buffer addressed by a top-of-stack index. Squash
+recovery restores only the TOS index (the standard low-cost scheme): entries
+clobbered by wrong-path calls are not restored, which occasionally corrupts a
+deeper return — the same behaviour real TOS-checkpointing hardware has.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReturnAddressStack"]
+
+
+class ReturnAddressStack:
+    """Circular return-address stack with TOS-index checkpointing."""
+
+    __slots__ = ("_stack", "_size", "_tos")
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("RAS needs at least one entry")
+        self._stack = [0] * entries
+        self._size = entries
+        self._tos = 0  # next push slot
+
+    def push(self, return_pc: int) -> None:
+        """Push the return address of a fetched call."""
+        self._stack[self._tos % self._size] = return_pc
+        self._tos += 1
+
+    def pop(self) -> int:
+        """Predicted target for a fetched return (0 if empty)."""
+        if self._tos == 0:
+            return 0
+        self._tos -= 1
+        return self._stack[self._tos % self._size]
+
+    @property
+    def tos(self) -> int:
+        """Checkpointable top-of-stack index."""
+        return self._tos
+
+    def restore(self, tos: int) -> None:
+        """Roll the TOS index back after a squash."""
+        self._tos = max(0, tos)
+
+    def __len__(self) -> int:
+        return min(self._tos, self._size)

@@ -1,0 +1,132 @@
+"""Command-line interface: ``dwarn-sim`` (or ``python -m repro.cli``).
+
+Subcommands::
+
+    dwarn-sim run 4-MIX --policy dwarn         # one simulation, summary out
+    dwarn-sim compare 4-MIX                    # all six policies side by side
+    dwarn-sim table2a                          # one experiment by name
+    dwarn-sim report -o EXPERIMENTS.md         # the full paper-vs-measured report
+    dwarn-sim list                             # workloads/policies/machines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    PAPER_POLICIES,
+    POLICIES,
+    PROFILES,
+    SimulationConfig,
+    WORKLOADS,
+    quick_run,
+)
+from repro.config import PRESETS
+from repro.experiments import ALL_EXPERIMENTS, ExperimentRunner, generate_report
+from repro.metrics.reporting import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the dwarn-sim argument parser (one subcommand per action)."""
+    parser = argparse.ArgumentParser(
+        prog="dwarn-sim",
+        description="SMT fetch-policy simulator reproducing 'DCache Warn' (IPDPS 2004)",
+    )
+    parser.add_argument("--machine", default="baseline", choices=sorted(PRESETS))
+    parser.add_argument("--seed", type=int, default=12345)
+    parser.add_argument("--warmup", type=int, default=5_000, help="warm-up cycles")
+    parser.add_argument("--cycles", type=int, default=40_000, help="measured cycles")
+    parser.add_argument("--trace-length", type=int, default=60_000)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one workload under one policy")
+    p_run.add_argument("workload")
+    p_run.add_argument("--policy", default="dwarn", choices=sorted(POLICIES))
+
+    p_cmp = sub.add_parser("compare", help="all six paper policies on one workload")
+    p_cmp.add_argument("workload")
+
+    for module, desc in ALL_EXPERIMENTS:
+        p_exp = sub.add_parser(module.NAME, help=desc)
+        p_exp.set_defaults(experiment=module)
+
+    p_rep = sub.add_parser("report", help="run everything, write EXPERIMENTS.md")
+    p_rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p_rep.add_argument("--cache-dir", default=None)
+    p_rep.add_argument(
+        "-j", "--parallel", type=int, default=1,
+        help="worker processes for the simulation sweeps",
+    )
+
+    sub.add_parser("list", help="available workloads, policies and machines")
+    return parser
+
+
+def _simcfg(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        trace_length=args.trace_length,
+        seed=args.seed,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    simcfg = _simcfg(args)
+
+    if args.command == "list":
+        print("workloads:", ", ".join(sorted(WORKLOADS)))
+        print("benchmarks:", ", ".join(sorted(PROFILES)))
+        print("policies:", ", ".join(sorted(POLICIES)))
+        print("machines:", ", ".join(sorted(PRESETS)))
+        return 0
+
+    if args.command == "run":
+        res = quick_run(args.workload, args.policy, args.machine, simcfg)
+        print(res.summary())
+        return 0
+
+    if args.command == "compare":
+        rows = []
+        for pol in PAPER_POLICIES:
+            res = quick_run(args.workload, pol, args.machine, simcfg)
+            rows.append(
+                [pol, round(res.throughput, 3)]
+                + [round(x, 3) for x in res.ipc]
+            )
+        res0 = quick_run(args.workload, PAPER_POLICIES[0], args.machine, simcfg)
+        headers = ["policy", "throughput"] + list(res0.benchmarks)
+        print(format_table(headers, rows, title=f"{args.workload} on {args.machine}"))
+        return 0
+
+    if args.command == "report":
+        runner = ExperimentRunner(args.machine, simcfg, cache_dir=args.cache_dir, verbose=True)
+        if args.parallel > 1:
+            from repro.experiments import prefetch, sweep_pairs
+
+            # with_machine shares the runner's caches, so prefetched results
+            # are visible to every experiment module.
+            for machine in ("baseline", "small", "deep"):
+                sub_runner = runner.with_machine(machine)
+                n = prefetch(
+                    sub_runner, sweep_pairs(sub_runner, PAPER_POLICIES), args.parallel
+                )
+                print(f"[prefetch] {machine}: {n} simulations", flush=True)
+        path = generate_report(args.output, runner)
+        print(f"wrote {path}")
+        return 0
+
+    # Named experiment.
+    runner = ExperimentRunner(args.machine, simcfg, verbose=True)
+    result = args.experiment.run(runner)
+    print(result.to_text())
+    return 0 if result.all_checks_pass else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

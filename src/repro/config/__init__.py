@@ -1,0 +1,31 @@
+"""Machine and simulation configuration.
+
+Configs are frozen dataclasses: hashable (used as experiment-cache keys) and
+safe to share between simulations. The three architectures evaluated in the
+paper are available as presets:
+
+- :func:`repro.config.presets.baseline` — Table 3 (8-wide, ICOUNT 2.8, 9 stages)
+- :func:`repro.config.presets.small`    — §6 "smaller" machine (4-wide, 1.4 fetch)
+- :func:`repro.config.presets.deep`     — §6 "deeper" machine (16 stages, 2.8)
+"""
+
+from repro.config.processor import ProcessorConfig, BranchPredictorConfig
+from repro.config.memory import CacheConfig, TLBConfig, MemoryConfig
+from repro.config.simulation import SimulationConfig
+from repro.config.machine import MachineConfig
+from repro.config.presets import baseline, small, deep, PRESETS, get_preset
+
+__all__ = [
+    "ProcessorConfig",
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "TLBConfig",
+    "MemoryConfig",
+    "SimulationConfig",
+    "MachineConfig",
+    "baseline",
+    "small",
+    "deep",
+    "PRESETS",
+    "get_preset",
+]

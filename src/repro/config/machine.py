@@ -1,0 +1,37 @@
+"""MachineConfig: the (processor, memory) pair naming a full architecture."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config.memory import MemoryConfig
+from repro.config.processor import ProcessorConfig
+
+__all__ = ["MachineConfig"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete simulated machine. Frozen and hashable: usable as the
+    architecture component of an experiment-cache key."""
+
+    name: str
+    proc: ProcessorConfig
+    mem: MemoryConfig
+
+    def validate(self) -> None:
+        """Validate both halves; raises ValueError on any bad parameter."""
+        self.proc.validate()
+        self.mem.validate()
+
+    def with_proc(self, **changes) -> "MachineConfig":
+        """Copy with processor fields replaced (ablation helper)."""
+        return replace(self, proc=replace(self.proc, **changes))
+
+    def with_mem(self, **changes) -> "MachineConfig":
+        """Copy with memory fields replaced (ablation helper)."""
+        return replace(self, mem=replace(self.mem, **changes))
+
+    def renamed(self, name: str) -> "MachineConfig":
+        """Copy under a different name (cache keys include the name)."""
+        return replace(self, name=name)

@@ -1,0 +1,121 @@
+"""Memory-hierarchy configuration (Table 3 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheConfig", "TLBConfig", "MemoryConfig"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level: size/assoc/line/banks plus access latency.
+
+    ``latency`` is the additional latency contributed by *this* level when it
+    is accessed: the paper's L1 is 1 cycle, L2 adds 10 cycles ("it takes 10
+    cycles more from the L1 data miss to access the L2 cache").
+    """
+
+    name: str
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    banks: int = 8
+    latency: int = 1
+    mshrs: int = 32  # outstanding line fills trackable at this level
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.assoc
+
+    def validate(self) -> None:
+        """Check geometry (power-of-two sets/lines/banks); raises ValueError."""
+        if self.size_bytes <= 0 or self.assoc <= 0 or self.line_bytes <= 0:
+            raise ValueError(f"{self.name}: sizes must be positive")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"{self.name}: line_bytes must be a power of two")
+        if self.size_bytes % (self.line_bytes * self.assoc):
+            raise ValueError(f"{self.name}: size must be divisible by line*assoc")
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{self.name}: set count must be a power of two")
+        if self.banks <= 0 or self.banks & (self.banks - 1):
+            raise ValueError(f"{self.name}: banks must be a positive power of two")
+        if self.latency < 0:
+            raise ValueError(f"{self.name}: latency must be non-negative")
+        if self.mshrs <= 0:
+            raise ValueError(f"{self.name}: mshrs must be positive")
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Data TLB model: entry count and miss penalty (Table 3: 160 cycles)."""
+
+    entries: int = 128
+    assoc: int = 4
+    page_bytes: int = 8192
+    miss_penalty: int = 160
+
+    def validate(self) -> None:
+        """Check TLB geometry; raises ValueError on bad parameters."""
+        if self.entries <= 0 or self.entries % self.assoc:
+            raise ValueError("TLB entries must be positive and divisible by assoc")
+        if self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page_bytes must be a power of two")
+        if self.miss_penalty < 0:
+            raise ValueError("miss_penalty must be non-negative")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """The full hierarchy: split L1s, unified L2, main memory, D-TLB."""
+
+    icache: CacheConfig = CacheConfig("icache", 64 * 1024, 2, 64, 8, 1)
+    dcache: CacheConfig = CacheConfig("dcache", 64 * 1024, 2, 64, 8, 1)
+    l2: CacheConfig = CacheConfig("l2", 512 * 1024, 2, 64, 8, 10)
+    memory_latency: int = 100
+    dtlb: TLBConfig = TLBConfig()
+
+    # STALL/FLUSH detection moment: a load is *declared* to miss in L2 when it
+    # has spent more than this many cycles in the memory hierarchy. The paper
+    # tuned this to 15 for the baseline.
+    l2_declare_cycles: int = 15
+    # Extra cycles between a load's L1 probe and the moment the *fetch stage*
+    # learns about the miss (the in-flight-miss counters rise then). The §6
+    # deeper machine adds 3; the baseline learns at probe time.
+    l1_detect_extra: int = 0
+    # "a 2-cycle advance indication is received when a load returns from
+    # memory" — gated threads resume this many cycles before the fill.
+    fill_advance_cycles: int = 2
+
+    def validate(self) -> None:
+        """Validate all levels and cross-level constraints; raises ValueError."""
+        self.icache.validate()
+        self.dcache.validate()
+        self.l2.validate()
+        self.dtlb.validate()
+        if self.icache.line_bytes != self.l2.line_bytes:
+            raise ValueError("icache/l2 line sizes must match")
+        if self.dcache.line_bytes != self.l2.line_bytes:
+            raise ValueError("dcache/l2 line sizes must match")
+        if self.memory_latency <= 0:
+            raise ValueError("memory_latency must be positive")
+        if self.l2_declare_cycles <= 0:
+            raise ValueError("l2_declare_cycles must be positive")
+        if self.fill_advance_cycles < 0:
+            raise ValueError("fill_advance_cycles must be non-negative")
+        if self.l1_detect_extra < 0:
+            raise ValueError("l1_detect_extra must be non-negative")
+
+    @property
+    def l1_miss_l2_hit_latency(self) -> int:
+        """Total load latency on an L1 miss that hits in L2."""
+        return self.dcache.latency + self.l2.latency
+
+    @property
+    def l2_miss_latency(self) -> int:
+        """Total load latency on an L2 miss (line from main memory)."""
+        return self.dcache.latency + self.l2.latency + self.memory_latency

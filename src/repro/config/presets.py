@@ -1,0 +1,123 @@
+"""The three machine configurations evaluated in the paper.
+
+- ``baseline()``: Table 3. 8-wide, ICOUNT 2.8 fetch, 9-stage pipeline,
+  32-entry issue queues, 384+384 physical registers, 64KB 2-way L1s,
+  512KB 2-way L2 (+10 cycles), 100-cycle memory, 160-cycle TLB penalty.
+
+- ``small()``: §6 "less aggressive" machine. 4-wide, 1.4 fetch (one thread
+  per cycle), 4 contexts, 256+256 physical registers, 3 int / 2 fp / 2 ld-st
+  units.
+
+- ``deep()``: §6 "deeper, more aggressive" machine. 16-stage pipeline
+  (deeper front end: +3 cycles to determine an L1 miss), 2.8 fetch, 64-entry
+  issue queues, L1->L2 latency 15, 200-cycle memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config.machine import MachineConfig
+from repro.config.memory import CacheConfig, MemoryConfig, TLBConfig
+from repro.config.processor import BranchPredictorConfig, ProcessorConfig
+
+__all__ = ["baseline", "small", "deep", "PRESETS", "get_preset"]
+
+
+def baseline() -> MachineConfig:
+    """Table 3 configuration (the paper's main machine)."""
+    proc = ProcessorConfig(
+        fetch_width=8,
+        fetch_threads=2,
+        issue_width=8,
+        commit_width=8,
+        frontend_depth=4,       # 9-stage pipeline: 4 cycles fetch->dispatch
+        int_queue=32,
+        fp_queue=32,
+        ls_queue=32,
+        int_units=6,
+        fp_units=3,
+        ls_units=4,
+        int_regs=384,
+        fp_regs=384,
+        rob_entries=256,
+        max_contexts=8,
+        branch=BranchPredictorConfig(
+            gshare_entries=2048, btb_entries=256, btb_assoc=4, ras_entries=256
+        ),
+    )
+    mem = MemoryConfig(
+        icache=CacheConfig("icache", 64 * 1024, 2, 64, 8, 1),
+        dcache=CacheConfig("dcache", 64 * 1024, 2, 64, 8, 1),
+        l2=CacheConfig("l2", 512 * 1024, 2, 64, 8, 10),
+        memory_latency=100,
+        dtlb=TLBConfig(entries=128, assoc=4, page_bytes=8192, miss_penalty=160),
+        l2_declare_cycles=15,
+        fill_advance_cycles=2,
+    )
+    cfg = MachineConfig("baseline", proc, mem)
+    cfg.validate()
+    return cfg
+
+
+def small() -> MachineConfig:
+    """§6 smaller machine: 4-wide, 1.4 fetch, 4 contexts, 256 registers."""
+    base = baseline()
+    proc = replace(
+        base.proc,
+        fetch_width=4,
+        fetch_threads=1,        # 1.4 fetch: one thread asked per cycle
+        issue_width=4,
+        commit_width=4,
+        int_units=3,
+        fp_units=2,
+        ls_units=2,
+        int_regs=256,
+        fp_regs=256,
+        max_contexts=4,
+    )
+    cfg = MachineConfig("small", proc, base.mem)
+    cfg.validate()
+    return cfg
+
+
+def deep() -> MachineConfig:
+    """§6 deeper machine: 16 stages, 64-entry queues, slower hierarchy."""
+    base = baseline()
+    proc = replace(
+        base.proc,
+        frontend_depth=9,       # 16-stage pipeline; L1-miss knowledge +3 cycles
+        int_queue=64,
+        fp_queue=64,
+        ls_queue=64,
+        mispredict_redirect_penalty=2,
+    )
+    mem = replace(
+        base.mem,
+        l2=CacheConfig("l2", 512 * 1024, 2, 64, 8, 15),
+        memory_latency=200,
+        l2_declare_cycles=20,   # re-tuned for the slower L2 (15+1 access < 20)
+        l1_detect_extra=3,      # "the time to determine an L1 miss has been
+                                # incremented by 3 cycles" (§6)
+    )
+    cfg = MachineConfig("deep", proc, mem)
+    cfg.validate()
+    return cfg
+
+
+PRESETS = {
+    "baseline": baseline,
+    "small": small,
+    "deep": deep,
+}
+
+
+def get_preset(name: str) -> MachineConfig:
+    """Look up a preset architecture by name (KeyError lists valid names)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine preset {name!r}; valid: {sorted(PRESETS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,141 @@
+"""Core pipeline configuration (Table 3 of the paper and the §6 variants)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProcessorConfig", "BranchPredictorConfig"]
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Front-end predictor sizing (Table 3).
+
+    gshare with ``gshare_entries`` 2-bit counters, a ``btb_entries``-entry
+    ``btb_assoc``-way BTB, and a ``ras_entries``-deep return address stack
+    per hardware context.
+    """
+
+    gshare_entries: int = 2048
+    #: Global-history length (bits) XORed into the PHT index. Short by
+    #: default: the synthetic traces' genuinely-random branches make long
+    #: histories pure index noise, capping accuracy far below the ~90-95%
+    #: real SPECINT programs reach — a short history restores realistic
+    #: accuracy while keeping gshare semantics (see repro.trace docs).
+    history_bits: int = 2
+    btb_entries: int = 256
+    btb_assoc: int = 4
+    ras_entries: int = 256
+
+    def validate(self) -> None:
+        """Check table geometries; raises ValueError on bad parameters."""
+        if self.gshare_entries & (self.gshare_entries - 1):
+            raise ValueError("gshare_entries must be a power of two")
+        if not 0 <= self.history_bits <= (self.gshare_entries.bit_length() - 1):
+            raise ValueError("history_bits must fit within the PHT index")
+        if self.btb_entries % self.btb_assoc:
+            raise ValueError("btb_entries must be divisible by btb_assoc")
+        if (self.btb_entries // self.btb_assoc) & (self.btb_entries // self.btb_assoc - 1):
+            raise ValueError("BTB set count must be a power of two")
+        if self.ras_entries <= 0:
+            raise ValueError("ras_entries must be positive")
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Pipeline widths, queue/register sizing and stage depths.
+
+    The fetch mechanism is the paper's ``ICOUNT x.y`` notation:
+    ``fetch_threads`` (x) threads may be asked for instructions each cycle,
+    up to ``fetch_width`` (y) instructions total.
+
+    ``frontend_depth`` is the number of cycles between fetch and dispatch
+    (decode + rename + queue-insert stages). The 9-stage baseline uses 4; the
+    16-stage machine of §6 uses a deeper front end, which also delays the
+    moment the fetch policy learns about L1 data misses (the paper's "+3
+    cycles to determine an L1 miss").
+    """
+
+    # Widths (Table 3: Fetch/Issue/Commit width 8)
+    fetch_width: int = 8
+    fetch_threads: int = 2          # the "x" of ICOUNT x.y
+    issue_width: int = 8
+    commit_width: int = 8
+
+    # Pipeline geometry
+    frontend_depth: int = 4         # fetch -> dispatch latency in cycles
+    misfetch_penalty: int = 1       # bubble on predicted-taken BTB miss
+    mispredict_redirect_penalty: int = 1  # extra cycles after resolve
+
+    # Shared issue queues (entries)
+    int_queue: int = 32
+    fp_queue: int = 32
+    ls_queue: int = 32
+
+    # Functional units (fully pipelined)
+    int_units: int = 6
+    fp_units: int = 3
+    ls_units: int = 4
+
+    # Shared physical register files
+    int_regs: int = 384
+    fp_regs: int = 384
+
+    # Per-thread reorder buffer
+    rob_entries: int = 256
+
+    # Execution latencies (cycles) for non-memory classes
+    int_latency: int = 1
+    fp_latency: int = 4
+    branch_latency: int = 1
+    store_latency: int = 1
+
+    # Max contexts supported (traces per simulation)
+    max_contexts: int = 8
+
+    # Per-thread frontend buffering: fetched-but-not-dispatched instructions.
+    # Sized as fetch_width * frontend_depth unless overridden (0 = auto).
+    frontend_buffer: int = 0
+
+    branch: BranchPredictorConfig = BranchPredictorConfig()
+
+    @property
+    def frontend_capacity(self) -> int:
+        return self.frontend_buffer or self.fetch_width * self.frontend_depth
+
+    def validate(self) -> None:
+        """Check widths/sizes and rename headroom; raises ValueError."""
+        positive = (
+            ("fetch_width", self.fetch_width),
+            ("fetch_threads", self.fetch_threads),
+            ("issue_width", self.issue_width),
+            ("commit_width", self.commit_width),
+            ("frontend_depth", self.frontend_depth),
+            ("int_queue", self.int_queue),
+            ("fp_queue", self.fp_queue),
+            ("ls_queue", self.ls_queue),
+            ("int_units", self.int_units),
+            ("fp_units", self.fp_units),
+            ("ls_units", self.ls_units),
+            ("int_regs", self.int_regs),
+            ("fp_regs", self.fp_regs),
+            ("rob_entries", self.rob_entries),
+            ("max_contexts", self.max_contexts),
+        )
+        for name, val in positive:
+            if val <= 0:
+                raise ValueError(f"{name} must be positive, got {val}")
+        if self.fetch_threads > self.max_contexts:
+            raise ValueError("fetch_threads cannot exceed max_contexts")
+        # Renaming needs headroom beyond committed architectural state.
+        if self.int_regs <= 32 * self.max_contexts:
+            raise ValueError(
+                "int_regs must exceed 32 * max_contexts "
+                f"({self.int_regs} <= {32 * self.max_contexts}); no rename headroom"
+            )
+        if self.fp_regs <= 32 * self.max_contexts:
+            raise ValueError(
+                "fp_regs must exceed 32 * max_contexts "
+                f"({self.fp_regs} <= {32 * self.max_contexts}); no rename headroom"
+            )
+        self.branch.validate()

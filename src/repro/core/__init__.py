@@ -1,0 +1,37 @@
+"""The SMT pipeline simulator and the fetch policies (the paper's core)."""
+
+from repro.core.result import SimResult
+from repro.core.simulator import Simulator
+from repro.core.stats import SimStats
+from repro.core.thread import ThreadContext
+from repro.core.policies import (
+    FetchPolicy,
+    ICountPolicy,
+    StallPolicy,
+    FlushPolicy,
+    DataGatingPolicy,
+    PredictiveDataGatingPolicy,
+    DWarnPolicy,
+    DCPredPolicy,
+    POLICIES,
+    PAPER_POLICIES,
+    make_policy,
+)
+
+__all__ = [
+    "Simulator",
+    "SimResult",
+    "SimStats",
+    "ThreadContext",
+    "FetchPolicy",
+    "ICountPolicy",
+    "StallPolicy",
+    "FlushPolicy",
+    "DataGatingPolicy",
+    "PredictiveDataGatingPolicy",
+    "DWarnPolicy",
+    "DCPredPolicy",
+    "POLICIES",
+    "PAPER_POLICIES",
+    "make_policy",
+]

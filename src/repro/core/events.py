@@ -1,0 +1,28 @@
+"""Event kinds used on the simulator's event wheel.
+
+Events are plain tuples ``(kind, payload...)`` — the cheapest structure to
+allocate and dispatch on in the hot loop.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EV_COMPLETE", "EV_FILL", "EV_DECLARE", "EV_CALL"]
+
+#: (EV_COMPLETE, instr) — execution/writeback completes; wakes dependents,
+#: resolves branches.
+EV_COMPLETE = 0
+
+#: (EV_FILL, instr) — the cache line for a missing load/store arrives;
+#: decrements the thread's in-flight-miss counter (loads) and retires the
+#: hierarchy's outstanding-fill entry. Fires even if the instr was squashed:
+#: the hardware fill happens regardless.
+EV_FILL = 1
+
+#: (EV_DECLARE, instr) — the load has spent more than the configured number
+#: of cycles in the memory hierarchy: STALL/FLUSH's "declared L2 miss"
+#: detection moment. Skipped if the load completed or was squashed.
+EV_DECLARE = 2
+
+#: (EV_CALL, callable) — generic deferred action; fetch policies use it for
+#: timed un-gating (the 2-cycle-early fill advance signal).
+EV_CALL = 3

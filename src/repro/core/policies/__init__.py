@@ -1,0 +1,86 @@
+"""Fetch policies: the paper's contribution (DWarn) and all its comparators.
+
+The registry maps the names used throughout the experiments to factories;
+``make_policy`` builds a *fresh* policy instance (policies hold per-run
+state, so instances are never shared between simulations).
+
+====================  =======================================================
+name                  policy (paper reference)
+====================  =======================================================
+``icount``            ICOUNT [12] — baseline ordering
+``stall``             STALL [11] — gate on declared L2 miss
+``flush``             FLUSH [11] — squash + gate on declared L2 miss
+``dg``                DG [3] — gate on any outstanding L1 miss
+``pdg``               PDG [3] — gate on predicted L1 misses
+``dwarn``             DWarn (§3) — hybrid: prioritize, gate on L2 at <3 threads
+``dwarn-pure``        DWarn without the hybrid gate (ablation of §5.2)
+``dcpred``            DC-PRED [7] — predict at fetch, limit resources
+``rr``                round-robin [12] — no feedback (extension)
+``brcount``           BRCOUNT [12] — fewest unresolved branches (extension)
+``misscount``         MISSCOUNT [12] — fewest outstanding misses (extension)
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.policies.base import FetchPolicy, GatingMixin
+from repro.core.policies.classic import (
+    BRCountPolicy,
+    MissCountPolicy,
+    RoundRobinPolicy,
+)
+from repro.core.policies.dcpred import DCPredPolicy
+from repro.core.policies.dg import DataGatingPolicy
+from repro.core.policies.dwarn import DWarnPolicy
+from repro.core.policies.flush import FlushPolicy
+from repro.core.policies.icount import ICountPolicy
+from repro.core.policies.pdg import PredictiveDataGatingPolicy
+from repro.core.policies.predictors import MissPredictor
+from repro.core.policies.stall import StallPolicy
+
+__all__ = [
+    "FetchPolicy",
+    "GatingMixin",
+    "ICountPolicy",
+    "StallPolicy",
+    "FlushPolicy",
+    "DataGatingPolicy",
+    "PredictiveDataGatingPolicy",
+    "DWarnPolicy",
+    "DCPredPolicy",
+    "RoundRobinPolicy",
+    "BRCountPolicy",
+    "MissCountPolicy",
+    "MissPredictor",
+    "POLICIES",
+    "PAPER_POLICIES",
+    "make_policy",
+]
+
+POLICIES: dict[str, Callable[[], FetchPolicy]] = {
+    "icount": ICountPolicy,
+    "stall": StallPolicy,
+    "flush": FlushPolicy,
+    "dg": DataGatingPolicy,
+    "pdg": PredictiveDataGatingPolicy,
+    "dwarn": DWarnPolicy,
+    "dwarn-pure": lambda: DWarnPolicy(hybrid=False),
+    "dcpred": DCPredPolicy,
+    "rr": RoundRobinPolicy,
+    "brcount": BRCountPolicy,
+    "misscount": MissCountPolicy,
+}
+
+#: The six policies of the paper's evaluation, in its plotting order.
+PAPER_POLICIES = ("icount", "stall", "flush", "dg", "pdg", "dwarn")
+
+
+def make_policy(name: str) -> FetchPolicy:
+    """Instantiate a registered policy by name (KeyError lists valid names)."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; valid: {sorted(POLICIES)}") from None
+    return factory()

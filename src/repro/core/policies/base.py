@@ -1,0 +1,163 @@
+"""Fetch-policy framework.
+
+A fetch policy decides, every cycle, the priority order of threads offered
+to the fetch unit (and which threads are gated — excluded entirely). The
+simulator calls the ``on_*`` event hooks from the load-execution path and the
+squash machinery; the hooks correspond to the paper's "detection moments"
+(Table 1): L1-miss probe, actual L2-probe outcome, declared-L2 (time-based),
+D-TLB miss, and fills with the 2-cycle advance indication.
+
+The ``wants_*`` class flags let the simulator skip hook calls entirely for
+policies that do not subscribe — per-instruction indirect calls are real
+money in an interpreted hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.isa.instruction import DynInstr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import Simulator
+
+__all__ = ["FetchPolicy", "GatingMixin"]
+
+
+class FetchPolicy:
+    """Base class: ICOUNT ordering helpers plus no-op hooks."""
+
+    #: registry/display name; subclasses override.
+    name = "base"
+
+    # Hook-subscription flags (see module docstring).
+    wants_load_fetch = False   # on_load_fetched at fetch of every load
+    wants_load_exec = False    # on_load_executed at execute of every load
+    wants_squash = False       # on_squash_instr for every squashed instr
+
+    def __init__(self) -> None:
+        self.sim: "Simulator | None" = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, sim: "Simulator") -> None:
+        """Bind to a simulator; called once from Simulator.__init__.
+
+        Policies hold per-run state (counters, gate timers), so an instance
+        must never be shared between simulations — build a fresh one per run
+        (``make_policy``).
+        """
+        if self.sim is not None:
+            raise RuntimeError(
+                f"policy {self.name!r} is already attached to a simulator; "
+                "policies hold per-run state — create a fresh instance"
+            )
+        self.sim = sim
+        self.setup()
+
+    def setup(self) -> None:
+        """Allocate per-thread policy state; sim is available."""
+
+    # -- the decision ---------------------------------------------------------
+
+    def fetch_order(self) -> list[int]:
+        """Priority-ordered thread ids to offer the fetch unit this cycle.
+
+        Threads omitted from the list are gated (cannot fetch at all).
+        """
+        raise NotImplementedError
+
+    def icount_order(self, tids) -> list[int]:
+        """Sort thread ids by ICOUNT (fewest in-flight pre-issue instructions
+        first) — the ordering primitive every policy builds on (§2)."""
+        threads = self.sim.threads
+        return sorted(tids, key=lambda t: (threads[t].icount, t))
+
+    # -- event hooks (no-ops by default) ---------------------------------------
+
+    def on_l1d_miss(self, i: DynInstr) -> None:
+        """A load probed the L1 D-cache and missed (the L1 DM)."""
+
+    def on_l1d_fill(self, i: DynInstr) -> None:
+        """The line for a missing load arrived (counter decrement moment)."""
+
+    def on_l2_miss(self, i: DynInstr) -> None:
+        """The load's L2 probe actually missed (known at L2-access time)."""
+
+    def on_l2_declared(self, i: DynInstr) -> None:
+        """The load exceeded the declare threshold in the hierarchy — the
+        STALL/FLUSH detection moment ("X cycles after load issue")."""
+
+    def on_dtlb_miss(self, i: DynInstr) -> None:
+        """The load missed the data TLB (triggers stall/flush per §5)."""
+
+    def on_load_fetched(self, i: DynInstr) -> None:
+        """A load entered the pipeline at fetch (predictive policies)."""
+
+    def on_load_executed(self, i: DynInstr) -> None:
+        """A correct-path load executed; i.l1_miss/l2_miss are valid."""
+
+    def on_squash_instr(self, i: DynInstr) -> None:
+        """Any instruction was squashed (cleanup for per-load counting)."""
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class GatingMixin:
+    """Shared machinery for policies that fetch-gate threads.
+
+    Gating is counted (a thread may be gated by several overlapping causes);
+    un-gate timers go through the simulator's event wheel and fire
+    ``fill_advance_cycles`` early (the paper's 2-cycle advance indication).
+    The mixin implements the paper's "always keep one thread running" rule:
+    a gate request is refused if every *other* thread is already gated.
+    """
+
+    def setup_gating(self) -> None:
+        """Allocate per-thread gate counters; call from ``setup``."""
+        self._gate_count = [0] * self.sim.num_threads
+
+    # ------------------------------------------------------------------
+
+    def is_gated(self, tid: int) -> bool:
+        """True while any gating cause holds ``tid`` out of fetch."""
+        return self._gate_count[tid] > 0
+
+    def ungated_tids(self) -> list[int]:
+        """Thread ids currently allowed to fetch."""
+        gc = self._gate_count
+        return [t for t in range(self.sim.num_threads) if gc[t] == 0]
+
+    def can_gate(self, tid: int) -> bool:
+        """True if gating ``tid`` leaves at least one thread running."""
+        gc = self._gate_count
+        for t in range(self.sim.num_threads):
+            if t != tid and gc[t] == 0:
+                return True
+        return False
+
+    def gate_until_fill(self, i: DynInstr) -> bool:
+        """Gate ``i``'s thread until its fill minus the advance signal.
+
+        Returns False when the keep-one-running rule (or an already-arrived
+        fill) prevents gating.
+        """
+        sim = self.sim
+        tid = i.tid
+        if not self.can_gate(tid):
+            return False
+        ungate_at = i.fill_cycle - sim.machine.mem.fill_advance_cycles
+        if ungate_at <= sim.cycle:
+            return False
+        self._gate_count[tid] += 1
+        gc = self._gate_count
+
+        def _ungate() -> None:
+            gc[tid] -= 1
+
+        sim.schedule_call(ungate_at, _ungate)
+        sim.stats.gated_cycles[tid] += ungate_at - sim.cycle
+        return True

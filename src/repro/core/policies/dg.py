@@ -1,0 +1,39 @@
+"""DG — data gating (El-Moursy & Albonesi [3]).
+
+Detection moment: the L1 data-cache miss itself. Response: gate the thread
+while it has ``threshold`` or more outstanding L1 misses (the paper and [3]
+both find n=1 — gate on *any* outstanding miss — works best, which our
+ablation bench re-checks).
+
+DG's weakness, per the paper: with few threads there is not enough other work
+to absorb the stall, and **less than half of L1 misses even reach L2** for
+most MEM benchmarks — so DG over-stalls threads that would have continued
+fine. No keep-one-running rule: [3] gates unconditionally.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.base import FetchPolicy
+
+__all__ = ["DataGatingPolicy"]
+
+
+class DataGatingPolicy(FetchPolicy):
+    name = "dg"
+
+    def __init__(self, threshold: int = 1) -> None:
+        super().__init__()
+        if threshold < 1:
+            raise ValueError("DG threshold must be >= 1")
+        self.threshold = threshold
+        if threshold != 1:
+            self.name = f"dg{threshold}"
+
+    def fetch_order(self) -> list[int]:
+        # The thread's in-flight L1 data-miss counter lives in the thread
+        # context (it is DWarn's hardware counter too); gating needs no
+        # events — the counter falls when fills arrive.
+        thr = self.threshold
+        threads = self.sim.threads
+        eligible = [t for t in range(self.sim.num_threads) if threads[t].dmiss < thr]
+        return self.icount_order(eligible)

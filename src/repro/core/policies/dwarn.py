@@ -1,0 +1,112 @@
+"""DWarn — the paper's contribution (§3).
+
+Detection moment: the L1 data-cache miss (reliable — every L2 miss was an L1
+miss first — and early). Response action: *reduce priority*, don't gate.
+
+Every cycle threads are classified by the per-context in-flight L1-D-miss
+counter (+1 on miss, -1 on fill; held in ``ThreadContext.dmiss``):
+
+- **Normal** group (counter == 0): more promising — fetch first;
+- **Dmiss** group (counter > 0): less promising — fetch only with bandwidth
+  the Normal group left unused (I-cache misses, fetch fragmentation, or only
+  one Normal thread available).
+
+Within each group threads are ordered by ICOUNT. Nobody is ever stalled, so
+when Normal threads cannot use the bandwidth the Dmiss threads still run —
+the reason DWarn wins on fairness (Table 4): unlike DG/PDG/STALL/FLUSH it
+does not sacrifice MEM threads to feed ILP threads.
+
+**Hybrid response action** (§3 end / §5.2): with fewer than three running
+threads, priority reduction alone cannot stop a Dmiss thread from creeping
+into the pipeline (a lone Normal thread cannot fill an 8-wide fetch due to
+fragmentation), so when a load *actually* misses in L2 the thread is
+additionally gated until the fill (2-cycle advance, keep-one-running) — the
+``GATE`` RA applied at the real-L2-miss detection moment, which needs no
+15-cycle declare timer. With >= 3 threads, classification alone suffices.
+
+Hardware cost note (§3): one saturating counter per context — no predictor,
+no squash logic, no instruction re-execution.
+
+Counter scope: we count *load* misses. Write-allocate store misses also move
+lines, but stores retire without waiting for their fill, so they do not clog
+queues/registers — gating on them would be pure loss; the paper's problem
+statement (§1) is exclusively about loads.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.base import FetchPolicy, GatingMixin
+from repro.isa.instruction import DynInstr
+
+__all__ = ["DWarnPolicy"]
+
+
+class DWarnPolicy(GatingMixin, FetchPolicy):
+    """DWarn with the hybrid L2-gating RA (set ``hybrid=False`` for the pure
+    prioritization-only variant — the ablation of §5.2's motivation)."""
+
+    name = "dwarn"
+
+    def __init__(
+        self,
+        hybrid: bool = True,
+        hybrid_below_threads: int = 3,
+        dmiss_threshold: int = 1,
+    ) -> None:
+        """``dmiss_threshold``: in-flight L1 misses needed to classify a
+        thread into the Dmiss group. The paper's hardware uses "counter is
+        zero => Normal" (threshold 1); higher thresholds tolerate short miss
+        bursts before demoting a thread — the sensitivity ablation in
+        ``benchmarks/test_bench_ablations.py`` sweeps this."""
+        super().__init__()
+        self.hybrid = hybrid
+        self.hybrid_below_threads = hybrid_below_threads
+        if dmiss_threshold < 1:
+            raise ValueError("dmiss_threshold must be >= 1")
+        self.dmiss_threshold = dmiss_threshold
+        if not hybrid:
+            self.name = "dwarn-pure"
+        if dmiss_threshold != 1:
+            self.name = f"{self.name}-t{dmiss_threshold}"
+
+    def setup(self) -> None:
+        self.setup_gating()
+        self._hybrid_active = (
+            self.hybrid and self.sim.num_threads < self.hybrid_below_threads
+        )
+
+    def fetch_order(self) -> list[int]:
+        threads = self.sim.threads
+        n = self.sim.num_threads
+        if self._hybrid_active:
+            gc = self._gate_count
+            tids = [t for t in range(n) if gc[t] == 0]
+        else:
+            tids = range(n)
+        thr = self.dmiss_threshold
+        normal = []
+        dmiss = []
+        for t in tids:
+            if threads[t].dmiss < thr:
+                normal.append(t)
+            else:
+                dmiss.append(t)
+        return self.icount_order(normal) + self.icount_order(dmiss)
+
+    def on_l2_miss(self, i: DynInstr) -> None:
+        """Hybrid RA: gate when the load *really* misses in L2.
+
+        The hardware knows the probe outcome one L2 access after the L1 miss;
+        we delay the gate to that moment so DWarn gets no unfair timing edge
+        over STALL/FLUSH's declare threshold.
+        """
+        if not self._hybrid_active or i.wrongpath:
+            return
+        sim = self.sim
+        known_at = sim.cycle + sim.machine.mem.l2.latency
+
+        def _gate() -> None:
+            if not i.squashed and not i.completed:
+                self.gate_until_fill(i)
+
+        sim.schedule_call(known_at, _gate)

@@ -1,0 +1,23 @@
+"""ICOUNT (Tullsen et al. [12]): the baseline every other policy builds on.
+
+Priority goes to threads with the fewest instructions in the pre-issue
+stages. ICOUNT takes no action on cache misses, which is exactly the failure
+mode the paper attacks: a thread blocked on an L2 miss keeps its queue
+entries and registers while ICOUNT happily keeps fetching for it whenever its
+in-flight count looks low.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.base import FetchPolicy
+
+__all__ = ["ICountPolicy"]
+
+
+class ICountPolicy(FetchPolicy):
+    """Pure ICOUNT x.y ordering (x/y come from the processor config)."""
+
+    name = "icount"
+
+    def fetch_order(self) -> list[int]:
+        return self.icount_order(range(self.sim.num_threads))

@@ -1,0 +1,57 @@
+"""Miss predictors used by the predictive policies (PDG, DC-PRED).
+
+PC-indexed tables of 2-bit saturating counters trained on actual outcomes:
+the structure [3] and [7] describe. Prediction quality is intentionally
+imperfect — the paper's whole argument against predictive policies is their
+mispredictions (unnecessary stalls) and their load serialization.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MissPredictor"]
+
+_PREDICT_THRESHOLD = 2
+_MAX = 3
+
+
+class MissPredictor:
+    """2-bit-counter cache-miss predictor, indexed by load PC."""
+
+    __slots__ = ("_table", "_mask", "lookups", "predicted_miss", "correct")
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries & (entries - 1):
+            raise ValueError("predictor entries must be a power of two")
+        self._table = bytearray(entries)  # init 0: strongly predict hit
+        self._mask = entries - 1
+        self.lookups = 0
+        self.predicted_miss = 0
+        self.correct = 0
+
+    def predict(self, pc: int) -> bool:
+        """True = predicted to miss."""
+        self.lookups += 1
+        miss = self._table[(pc >> 2) & self._mask] >= _PREDICT_THRESHOLD
+        if miss:
+            self.predicted_miss += 1
+        return miss
+
+    def train(self, pc: int, missed: bool) -> None:
+        """Update the 2-bit counter for ``pc`` with the actual outcome."""
+        idx = (pc >> 2) & self._mask
+        ctr = self._table[idx]
+        if missed:
+            if ctr < _MAX:
+                self._table[idx] = ctr + 1
+        else:
+            if ctr > 0:
+                self._table[idx] = ctr - 1
+
+    def record_outcome(self, predicted: bool, actual: bool) -> None:
+        """Accuracy bookkeeping (reported by experiments, not used to gate)."""
+        if predicted == actual:
+            self.correct += 1
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 0.0

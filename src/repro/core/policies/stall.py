@@ -1,0 +1,33 @@
+"""STALL (Tullsen & Brown [11]).
+
+Detection moment: a load is *declared* to miss in L2 when it has spent more
+than the configured number of cycles in the memory hierarchy (15 on the
+baseline, tuned like the paper); a data-TLB miss triggers immediately.
+Response action: fetch-gate the offending thread until the load returns,
+with a 2-cycle advance indication, never gating the last running thread.
+Within the ungated threads, ordering is ICOUNT.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.base import FetchPolicy, GatingMixin
+from repro.isa.instruction import DynInstr
+
+__all__ = ["StallPolicy"]
+
+
+class StallPolicy(GatingMixin, FetchPolicy):
+    name = "stall"
+
+    def setup(self) -> None:
+        self.setup_gating()
+
+    def fetch_order(self) -> list[int]:
+        return self.icount_order(self.ungated_tids())
+
+    def on_l2_declared(self, i: DynInstr) -> None:
+        if not i.wrongpath:
+            self.gate_until_fill(i)
+
+    def on_dtlb_miss(self, i: DynInstr) -> None:
+        self.gate_until_fill(i)

@@ -1,0 +1,90 @@
+"""Simulation result: everything the experiments need, detached from the
+simulator so results can be cached, serialized and compared."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimResult"]
+
+
+@dataclass
+class SimResult:
+    """Measurement-window outcome of one simulation run."""
+
+    machine: str
+    policy: str
+    benchmarks: tuple[str, ...]
+    seed: int
+
+    cycles: int
+    ipc: list[float]                      # per-thread IPC over the window
+    committed: list[int]
+    fetched: list[int]
+    squashed_mispredict: list[int]
+    squashed_flush: list[int]
+    flush_events: list[int]
+    mispredicts: list[int]
+    branches_resolved: list[int]
+
+    loads: list[int]                      # window load counts (correct path)
+    load_l1_misses: list[int]
+    load_l2_misses: list[int]
+
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.ipc)
+
+    @property
+    def throughput(self) -> float:
+        """Sum of per-thread IPCs: the paper's throughput metric (§5)."""
+        return sum(self.ipc)
+
+    @property
+    def total_fetched(self) -> int:
+        return sum(self.fetched)
+
+    @property
+    def total_flushed(self) -> int:
+        return sum(self.squashed_flush)
+
+    @property
+    def flushed_fraction(self) -> float:
+        """Flushed instructions w.r.t. fetched instructions (Figure 2)."""
+        fetched = self.total_fetched
+        return self.total_flushed / fetched if fetched else 0.0
+
+    def l1_load_missrate(self, tid: int) -> float:
+        """Windowed L1 miss rate of thread ``tid``'s loads (0..1)."""
+        return self.load_l1_misses[tid] / self.loads[tid] if self.loads[tid] else 0.0
+
+    def l2_load_missrate(self, tid: int) -> float:
+        """Windowed L2 miss rate of thread ``tid``'s loads (0..1)."""
+        return self.load_l2_misses[tid] / self.loads[tid] if self.loads[tid] else 0.0
+
+    def mispredict_rate(self, tid: int) -> float:
+        """Fraction of thread ``tid``'s resolved branches that mispredicted."""
+        n = self.branches_resolved[tid]
+        return self.mispredicts[tid] / n if n else 0.0
+
+    def summary(self) -> str:
+        """Human-readable one-run report."""
+        lines = [
+            f"machine={self.machine} policy={self.policy} cycles={self.cycles}",
+            f"throughput={self.throughput:.3f}",
+        ]
+        for t, bench in enumerate(self.benchmarks):
+            lines.append(
+                f"  t{t} {bench:8s} IPC={self.ipc[t]:.3f} "
+                f"committed={self.committed[t]} "
+                f"L1={100 * self.l1_load_missrate(t):.2f}% "
+                f"L2={100 * self.l2_load_missrate(t):.2f}% "
+                f"bp={100 * (1 - self.mispredict_rate(t)):.1f}%"
+            )
+        if self.total_flushed:
+            lines.append(f"  flushed/fetched = {100 * self.flushed_fraction:.1f}%")
+        return "\n".join(lines)

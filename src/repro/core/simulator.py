@@ -1,0 +1,816 @@
+"""The cycle-level SMT pipeline simulator.
+
+One :class:`Simulator` instance models the machine of DESIGN.md §3: an
+``x.y`` fetch unit driven by a pluggable fetch policy, a decode/rename front
+end of configurable depth, shared issue queues with oldest-first
+wakeup-select, pipelined functional units, loads executed against the
+stateful memory hierarchy, per-thread ROBs, and full squash machinery for
+branch-misprediction recovery and FLUSH-policy flushes.
+
+Cycle phase order (within :meth:`_step`)::
+
+    drain events -> commit -> issue -> dispatch -> fetch
+
+so newly fetched instructions dispatch no earlier than ``frontend_depth``
+cycles later and newly dispatched instructions issue the following cycle at
+the earliest.
+
+Hot-loop style note: this module deliberately binds instance attributes to
+locals inside the per-cycle methods and uses plain tuples/ints for events —
+per the hpc-parallel guide, attribute lookups and allocation are what
+dominate interpreted simulator loops.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappush, heappop
+from typing import TYPE_CHECKING, Sequence
+
+from repro.branch.predictor import FrontEndPredictor
+from repro.config.machine import MachineConfig
+from repro.config.simulation import SimulationConfig
+from repro.core.events import EV_CALL, EV_COMPLETE, EV_DECLARE, EV_FILL
+from repro.core.result import SimResult
+from repro.core.stats import SimStats
+from repro.core.thread import ThreadContext
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import BranchKind, OpClass, QUEUE_OF
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.utils.events import EventWheel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.policies.base import FetchPolicy
+    from repro.workloads.builder import ThreadProgram
+
+__all__ = ["Simulator"]
+
+_OP_LOAD = int(OpClass.LOAD)
+_OP_STORE = int(OpClass.STORE)
+_OP_BRANCH = int(OpClass.BRANCH)
+_BK_COND = int(BranchKind.COND)
+_BK_CALL = int(BranchKind.CALL)
+_BK_RET = int(BranchKind.RET)
+
+
+class Simulator:
+    """Trace-driven SMT processor simulation of one workload under one policy."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        programs: Sequence["ThreadProgram"],
+        policy: "FetchPolicy",
+        simcfg: SimulationConfig,
+    ) -> None:
+        machine.validate()
+        simcfg.validate()
+        if not programs:
+            raise ValueError("need at least one thread program")
+        if len(programs) > machine.proc.max_contexts:
+            raise ValueError(
+                f"{len(programs)} threads exceed max_contexts={machine.proc.max_contexts}"
+            )
+        self.machine = machine
+        self.simcfg = simcfg
+        self.policy = policy
+        proc = machine.proc
+
+        self.threads = [
+            ThreadContext(tid, p.trace, p.wp_supplier) for tid, p in enumerate(programs)
+        ]
+        self.num_threads = len(self.threads)
+        self.hierarchy = MemoryHierarchy(machine.mem, self.num_threads)
+        self.predictor = FrontEndPredictor(proc.branch, self.num_threads)
+        self.stats = SimStats(self.num_threads)
+        self.events = EventWheel()
+
+        # Shared resources. Physical registers: committed architectural
+        # state consumes 32 per file per context; the remainder renames.
+        self.free_int_regs = proc.int_regs - 32 * self.num_threads
+        self.free_fp_regs = proc.fp_regs - 32 * self.num_threads
+        if self.free_int_regs <= 0 or self.free_fp_regs <= 0:
+            raise ValueError("not enough physical registers for this thread count")
+        self.q_free = [proc.int_queue, proc.fp_queue, proc.ls_queue]
+        self._q_size = (proc.int_queue, proc.fp_queue, proc.ls_queue)
+        self._units = (proc.int_units, proc.fp_units, proc.ls_units)
+        self.ready: tuple[list, list, list] = ([], [], [])
+
+        # Non-memory execution latencies indexed by OpClass.
+        self._latency = (
+            proc.int_latency,
+            proc.fp_latency,
+            0,  # LOAD: from the hierarchy
+            proc.store_latency,
+            proc.branch_latency,
+        )
+
+        self.cycle = 0
+        self.gseq = 0
+        self._line_shift = self.hierarchy.line_shift
+        # The decode/rename pipe is SHARED and in-order: instructions rename
+        # in fetch order, and a resource-blocked instruction at the rename
+        # head stalls the whole front end. This is what makes the I-fetch
+        # policy "determine how shared resources are filled" (paper §1) —
+        # whatever fetch admits WILL reach the queues in that order.
+        self.pipe: deque = deque()
+        self._pipe_cap = proc.frontend_capacity
+        self._hier_snap: dict | None = None
+        self._warm_committed: list[int] | None = None
+
+        if simcfg.prewarm_caches:
+            self._prewarm_caches()
+        policy.attach(self)
+
+    def _prewarm_caches(self) -> None:
+        """Install each thread's steady-state-resident state: hot/stack data
+        in L1D+L2, the warm tier in L2, the code footprint in L2 (the I-cache
+        itself warms within a few hundred cycles once code is L2-resident —
+        without this, first-touch code lines each cost a full memory round
+        trip and short runs measure nothing but I-cache cold start), and the
+        resident data pages in the D-TLB. Later threads may evict earlier
+        threads' lines when the combined footprint exceeds capacity — exactly
+        the SMT cache contention the policies then have to manage."""
+        shift = self.hierarchy.line_shift
+        dcache = self.hierarchy.dcache
+        l2 = self.hierarchy.l2
+        dtlb = self.hierarchy.dtlb
+        line_bytes = 1 << shift
+        for tc in self.threads:
+            aspace = tc.trace.aspace
+            for addr in aspace.l1_resident_lines():
+                line = addr >> shift
+                dcache.fill(line)
+                l2.fill(line)
+                dtlb.access(addr)
+            for addr in aspace.l2_resident_lines():
+                l2.fill(addr >> shift)
+                dtlb.access(addr)
+            layout = tc.trace.layout
+            for addr in range(
+                layout.code_base, layout.code_base + layout.footprint_bytes, line_bytes
+            ):
+                l2.fill(addr >> shift)
+        dtlb.reset_stats()
+        self.hierarchy.dcache.reset_stats()
+        self.hierarchy.l2.reset_stats()
+
+    # ------------------------------------------------------------------ API
+
+    def schedule(self, cycle: int, event: tuple) -> None:
+        """Schedule an event; policies use EV_CALL payloads for timers."""
+        self.events.schedule(cycle, event)
+
+    def schedule_call(self, cycle: int, fn) -> None:
+        """Schedule ``fn()`` to run at ``cycle`` (no-arg callable)."""
+        self.events.schedule(cycle, (EV_CALL, fn))
+
+    def run(self) -> SimResult:
+        """Run warm-up + measurement windows; return the windowed result."""
+        simcfg = self.simcfg
+        total = simcfg.total_cycles
+        warmup = simcfg.warmup_cycles
+        limit = simcfg.commit_limit
+        step = self._step
+        while self.cycle < total:
+            if self.cycle == warmup:
+                self._begin_window()
+            step()
+            if limit and self._warm_committed is not None and (self.cycle & 63) == 0:
+                committed = self.stats.committed
+                base = self._warm_committed
+                for t in range(self.num_threads):
+                    if committed[t] - base[t] >= limit:
+                        return self.result()
+        return self.result()
+
+    def run_cycles(self, n: int) -> None:
+        """Advance the simulation by exactly ``n`` cycles (testing hook)."""
+        step = self._step
+        for _ in range(n):
+            step()
+
+    def _begin_window(self) -> None:
+        self.stats.snapshot()
+        self._hier_snap = self.hierarchy.snapshot()
+        self._warm_committed = list(self.stats.committed)
+
+    def result(self) -> SimResult:
+        """Windowed statistics as a :class:`SimResult`."""
+        w = self.stats.window()
+        cycles = w["cycles"] or 1
+        hier = self.hierarchy
+        if self._hier_snap is not None:
+            snap = self._hier_snap
+            loads = [hier.loads[t] - snap["loads"][t] for t in range(self.num_threads)]
+            l1 = [
+                hier.load_l1_misses[t] - snap["load_l1_misses"][t]
+                for t in range(self.num_threads)
+            ]
+            l2 = [
+                hier.load_l2_misses[t] - snap["load_l2_misses"][t]
+                for t in range(self.num_threads)
+            ]
+        else:
+            loads = list(hier.loads)
+            l1 = list(hier.load_l1_misses)
+            l2 = list(hier.load_l2_misses)
+        return SimResult(
+            machine=self.machine.name,
+            policy=self.policy.name,
+            benchmarks=tuple(tc.trace.profile.name for tc in self.threads),
+            seed=self.simcfg.seed,
+            cycles=cycles,
+            ipc=[c / cycles for c in w["committed"]],
+            committed=w["committed"],
+            fetched=w["fetched"],
+            squashed_mispredict=w["squashed_mispredict"],
+            squashed_flush=w["squashed_flush"],
+            flush_events=w["flush_events"],
+            mispredicts=w["mispredicts"],
+            branches_resolved=w["branches_resolved"],
+            loads=loads,
+            load_l1_misses=l1,
+            load_l2_misses=l2,
+        )
+
+    # ------------------------------------------------------------- one cycle
+
+    def _step(self) -> None:
+        cycle = self.cycle
+        for ev in self.events.drain(cycle):
+            kind = ev[0]
+            if kind == EV_COMPLETE:
+                self._complete(ev[1])
+            elif kind == EV_FILL:
+                self._fill(ev[1])
+            elif kind == EV_DECLARE:
+                self._declare(ev[1])
+            else:  # EV_CALL
+                ev[1]()
+        self._commit()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self.cycle = cycle + 1
+        self.stats.cycles += 1
+
+    # ---------------------------------------------------------------- events
+
+    def _complete(self, i: DynInstr) -> None:
+        if i.squashed:
+            return
+        i.completed = True
+        i.complete_cycle = self.cycle
+        ready = self.ready
+        for d in i.dependents:
+            if not d.squashed and d.num_wait > 0:
+                d.num_wait -= 1
+                if d.num_wait == 0 and not d.issued:
+                    heappush(ready[QUEUE_OF[d.op]], (d.gseq, d))
+        i.dependents = []
+        if i.op == _OP_BRANCH and not i.wrongpath:
+            self._resolve_branch(i)
+
+    def _resolve_branch(self, i: DynInstr) -> None:
+        tid = i.tid
+        self.stats.branches_resolved[tid] += 1
+        self.predictor.train(tid, i.pc, i.ghist_snapshot, i.brkind, i.taken, i.target)
+        if not i.mispredicted:
+            return
+        self.stats.mispredicts[tid] += 1
+        tc = self.threads[tid]
+        self._squash_younger(tc, i.seq, flush=False, restore_predictor=False)
+        tc.wrongpath = False
+        tc.cursor = i.idx + 1
+        penalty = 1 + self.machine.proc.mispredict_redirect_penalty
+        redirect = self.cycle + penalty
+        if redirect > tc.fetch_ready_cycle:
+            tc.fetch_ready_cycle = redirect
+        resolved = i.taken if i.brkind == _BK_COND else None
+        self.predictor.squash_recover(tid, i.ghist_snapshot, i.ras_snapshot, resolved)
+        # Re-apply the resolving branch's own RAS effect (its snapshot was
+        # taken before the speculative push/pop).
+        if i.brkind == _BK_CALL:
+            self.predictor.ras[tid].push(i.pc + 4)
+        elif i.brkind == _BK_RET:
+            self.predictor.ras[tid].pop()
+
+    def _fill(self, i: DynInstr) -> None:
+        self.hierarchy.fill_arrived(i.addr >> self._line_shift)
+        if i.op == _OP_LOAD:
+            if i.dmiss_counted:
+                tc = self.threads[i.tid]
+                if tc.dmiss > 0:
+                    tc.dmiss -= 1
+            self.policy.on_l1d_fill(i)
+
+    def _declare(self, i: DynInstr) -> None:
+        if i.squashed or i.completed:
+            return
+        i.declared = True
+        self.policy.on_l2_declared(i)
+
+    # ---------------------------------------------------------------- commit
+
+    def _commit(self) -> None:
+        budget = self.machine.proc.commit_width
+        threads = self.threads
+        n = self.num_threads
+        stats = self.stats
+        start = self.cycle % n
+        for k in range(n):
+            tc = threads[(start + k) % n]
+            rob = tc.rob
+            while budget and rob:
+                i = rob[0]
+                if not i.completed:
+                    break
+                rob.popleft()
+                budget -= 1
+                tid = i.tid
+                tc.committed += 1
+                stats.committed[tid] += 1
+                op = i.op
+                if op == _OP_LOAD:
+                    stats.loads_committed[tid] += 1
+                elif op == _OP_STORE:
+                    stats.stores_committed[tid] += 1
+                d = i.dest
+                if d >= 0:
+                    if d < 32:
+                        self.free_int_regs += 1
+                    else:
+                        self.free_fp_regs += 1
+                i.prev_writer1 = None  # cut rename-history chains (GC)
+            if not budget:
+                return
+
+    # ----------------------------------------------------------------- issue
+
+    def _issue(self) -> None:
+        budget = self.machine.proc.issue_width
+        ready = self.ready
+        units = self._units
+        cap0, cap1, cap2 = units
+        caps = [cap0, cap1, cap2]
+        cycle = self.cycle
+        stats = self.stats
+        threads = self.threads
+        latency = self._latency
+        events = self.events
+
+        while budget:
+            # Oldest-first select across the three queues, honoring per-class
+            # functional-unit limits; squashed entries are skipped lazily.
+            best_q = -1
+            best_key = None
+            for q in (0, 1, 2):
+                if caps[q] <= 0:
+                    continue
+                rq = ready[q]
+                while rq and rq[0][1].squashed:
+                    heappop(rq)
+                if rq and (best_key is None or rq[0][0] < best_key):
+                    best_key = rq[0][0]
+                    best_q = q
+            if best_q < 0:
+                return
+            _, i = heappop(ready[best_q])
+            caps[best_q] -= 1
+            budget -= 1
+            i.issued = True
+            i.issue_cycle = cycle
+            tc = threads[i.tid]
+            tc.icount -= 1
+            self.q_free[best_q] += 1
+            stats.issued += 1
+            op = i.op
+            if op == _OP_LOAD:
+                self._execute_load(i, tc)
+            elif op == _OP_STORE:
+                res = self.hierarchy.store_access(
+                    i.tid, i.addr, cycle, count_stats=not i.wrongpath
+                )
+                if res.l1_miss and not res.merged:
+                    events.schedule(res.fill_cycle, (EV_FILL, i))
+                events.schedule(cycle + latency[op], (EV_COMPLETE, i))
+            else:
+                events.schedule(cycle + latency[op], (EV_COMPLETE, i))
+
+    def _execute_load(self, i: DynInstr, tc: ThreadContext) -> None:
+        cycle = self.cycle
+        res = self.hierarchy.load_access(i.tid, i.addr, cycle, count_stats=not i.wrongpath)
+        i.fill_cycle = res.fill_cycle
+        lat = res.latency if res.latency > 0 else 1
+        self.events.schedule(cycle + lat, (EV_COMPLETE, i))
+        policy = self.policy
+        if res.tlb_miss:
+            i.tlb_miss = True
+            if not i.wrongpath:
+                policy.on_dtlb_miss(i)
+        if res.l1_miss:
+            i.l1_miss = True
+            detect_extra = self.machine.mem.l1_detect_extra
+            if detect_extra == 0:
+                # Baseline: the fetch stage learns of the miss at probe time.
+                i.dmiss_counted = True
+                tc.dmiss += 1
+                policy.on_l1d_miss(i)
+            elif res.fill_cycle > cycle + detect_extra:
+                # Deeper pipeline (§6): the miss indication takes extra
+                # cycles to reach the front end; misses that resolve first
+                # are never seen by the counters at all.
+                def _detect(load=i, thread=tc):
+                    load.dmiss_counted = True
+                    thread.dmiss += 1
+                    self.policy.on_l1d_miss(load)
+
+                self.events.schedule(cycle + detect_extra, (EV_CALL, _detect))
+            self.events.schedule(res.fill_cycle, (EV_FILL, i))
+            if res.l2_miss:
+                i.l2_miss = True
+                if not i.wrongpath:
+                    policy.on_l2_miss(i)
+                    declare_at = cycle + self.machine.mem.l2_declare_cycles
+                    if res.fill_cycle > declare_at:
+                        self.events.schedule(declare_at, (EV_DECLARE, i))
+        if policy.wants_load_exec and not i.wrongpath:
+            policy.on_load_executed(i)
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self) -> None:
+        """Rename/dispatch from the shared in-order frontend pipe.
+
+        Up to ``fetch_width`` instructions leave the pipe per cycle, in fetch
+        order, each needing an issue-queue entry, a ROB slot and (if it has a
+        destination) a physical register. A blocked head stalls the whole
+        pipe: the front end is a rigid in-order structure.
+        """
+        proc = self.machine.proc
+        budget = proc.fetch_width  # rename width tracks fetch width
+        depth = proc.frontend_depth
+        rob_cap = proc.rob_entries
+        cycle = self.cycle
+        threads = self.threads
+        q_free = self.q_free
+        ready = self.ready
+        stats = self.stats
+        pipe = self.pipe
+        while budget and pipe:
+            i = pipe[0]
+            if i.squashed:
+                pipe.popleft()
+                threads[i.tid].pipe_count -= 1
+                continue
+            if i.fetch_cycle + depth > cycle:
+                break
+            q = QUEUE_OF[i.op]
+            if q_free[q] <= 0:
+                break
+            tc = threads[i.tid]
+            rob = tc.rob
+            if len(rob) >= rob_cap:
+                break
+            d = i.dest
+            if d >= 0:
+                if d < 32:
+                    if self.free_int_regs <= 0:
+                        break
+                    self.free_int_regs -= 1
+                else:
+                    if self.free_fp_regs <= 0:
+                        break
+                    self.free_fp_regs -= 1
+            pipe.popleft()
+            tc.pipe_count -= 1
+            rm = tc.renmap
+            s = i.src1
+            if s >= 0:
+                p = rm[s]
+                if p is not None and not p.completed:
+                    i.num_wait += 1
+                    p.dependents.append(i)
+            s = i.src2
+            if s >= 0:
+                p = rm[s]
+                if p is not None and not p.completed:
+                    i.num_wait += 1
+                    p.dependents.append(i)
+            if d >= 0:
+                i.prev_writer1 = rm[d]
+                rm[d] = i
+            q_free[q] -= 1
+            rob.append(i)
+            i.dispatched = True
+            i.dispatch_cycle = cycle
+            stats.dispatched += 1
+            budget -= 1
+            if i.num_wait == 0:
+                heappush(ready[q], (i.gseq, i))
+
+    # ----------------------------------------------------------------- fetch
+
+    def _fetch(self) -> None:
+        cycle = self.cycle
+        order = self.policy.fetch_order()
+        if not order:
+            return
+        proc = self.machine.proc
+        budget = proc.fetch_width
+        pipe = self.pipe
+        room = self._pipe_cap - len(pipe)
+        if room <= 0:
+            return  # the shared decode/rename pipe is backed up
+        if room < budget:
+            budget = room
+        slots = proc.fetch_threads
+        threads = self.threads
+        stats = self.stats
+        line_shift = self._line_shift
+        wants_load_fetch = self.policy.wants_load_fetch
+
+        for tid in order:
+            if budget <= 0 or slots <= 0:
+                return
+            tc = threads[tid]
+            if tc.fetch_ready_cycle > cycle:
+                continue
+            trace = tc.trace
+            tlen = trace.length
+            if tc.wrongpath:
+                pc = tc.wp_pc
+            else:
+                pc = trace.pc[tc.cursor % tlen]
+            slots -= 1
+            hit, ready_at = self.hierarchy.ifetch_access(tid, pc, cycle)
+            if not hit:
+                tc.fetch_ready_cycle = ready_at
+                continue
+            first_line = pc >> line_shift
+
+            while budget > 0:
+                if tc.wrongpath:
+                    pc = tc.wp_pc
+                    if pc >> line_shift != first_line:
+                        break
+                    rec = tc.wp_supplier.supply(pc)
+                    i = DynInstr(
+                        tid, tc.next_seq(), -1,
+                        rec[0], pc, rec[1], rec[2], rec[3], rec[4],
+                        rec[5], rec[6], rec[7],
+                    )
+                    i.wrongpath = True
+                else:
+                    idx = tc.cursor % tlen
+                    pc = trace.pc[idx]
+                    if pc >> line_shift != first_line:
+                        break
+                    i = DynInstr(
+                        tid, tc.next_seq(), tc.cursor,
+                        trace.op[idx], pc, trace.dest[idx], trace.src1[idx],
+                        trace.src2[idx], trace.addr[idx], trace.brkind[idx],
+                        trace.taken[idx], trace.target[idx],
+                    )
+                i.gseq = self.gseq
+                self.gseq += 1
+                i.fetch_cycle = cycle
+                pipe.append(i)
+                tc.pipe_count += 1
+                tc.icount += 1
+                tc.fetched += 1
+                stats.fetched[tid] += 1
+                stats.fetch_slots_used += 1
+                budget -= 1
+
+                if i.op == _OP_BRANCH:
+                    if self._fetch_branch(tc, i):
+                        break
+                else:
+                    if wants_load_fetch and i.op == _OP_LOAD:
+                        self.policy.on_load_fetched(i)
+                    if tc.wrongpath:
+                        tc.wp_pc = pc + 4
+                    else:
+                        tc.cursor += 1
+
+    def _fetch_branch(self, tc: ThreadContext, i: DynInstr) -> bool:
+        """Predict a fetched branch; returns True if fetch must stop for this
+        thread this cycle (predicted-taken redirect or misfetch bubble)."""
+        cycle = self.cycle
+        tid = i.tid
+        pc = i.pc
+        pred = self.predictor.predict(tid, pc, i.brkind, pc + 4)
+        i.pred_taken = pred.taken
+        i.pred_target = pred.target
+        i.ghist_snapshot = pred.hist_snapshot
+        i.ras_snapshot = pred.ras_snapshot
+
+        if tc.wrongpath:
+            # Already on a wrong path: just follow the prediction.
+            if pred.btb_miss:
+                tc.fetch_ready_cycle = cycle + 1 + self.machine.proc.misfetch_penalty
+                tc.wp_pc = pc + 4
+                return True
+            tc.wp_pc = pred.target if pred.taken else pc + 4
+            return pred.taken
+
+        actual_taken = i.taken
+        static_target = i.target
+        tc.cursor += 1
+
+        if pred.btb_miss:
+            # Predicted taken, no target: bubble until decode computes it.
+            tc.fetch_ready_cycle = cycle + 1 + self.machine.proc.misfetch_penalty
+            if not actual_taken:
+                # Direction was wrong too: decode redirects to the computed
+                # taken-target — the wrong path.
+                i.mispredicted = True
+                tc.wrongpath = True
+                tc.wp_pc = static_target
+            return True
+
+        if i.brkind == _BK_COND:
+            if pred.taken != actual_taken:
+                i.mispredicted = True
+                tc.wrongpath = True
+                tc.wp_pc = pred.target if pred.taken else pc + 4
+            elif pred.taken and pred.target != static_target:
+                i.mispredicted = True
+                tc.wrongpath = True
+                tc.wp_pc = pred.target
+        else:
+            # JUMP/CALL/RET are always taken; only the target can be wrong.
+            if pred.target != static_target:
+                i.mispredicted = True
+                tc.wrongpath = True
+                tc.wp_pc = pred.target
+        return pred.taken
+
+    # ---------------------------------------------------------------- squash
+
+    def _squash_one(self, tc: ThreadContext, i: DynInstr, flush: bool) -> None:
+        i.squashed = True
+        tid = i.tid
+        if not i.issued:
+            tc.icount -= 1
+        if i.dispatched:
+            if not i.issued:
+                self.q_free[QUEUE_OF[i.op]] += 1
+            d = i.dest
+            if d >= 0:
+                if d < 32:
+                    self.free_int_regs += 1
+                else:
+                    self.free_fp_regs += 1
+                if tc.renmap[d] is i:
+                    tc.renmap[d] = i.prev_writer1
+        if flush:
+            self.stats.squashed_flush[tid] += 1
+        else:
+            self.stats.squashed_mispredict[tid] += 1
+        if self.policy.wants_squash:
+            self.policy.on_squash_instr(i)
+
+    def _squash_younger(
+        self,
+        tc: ThreadContext,
+        pivot_seq: int,
+        flush: bool,
+        restore_predictor: bool,
+    ) -> int:
+        """Squash every instruction of ``tc`` younger than ``pivot_seq``.
+
+        Walks youngest-to-oldest (frontend first, then ROB tail) so rename-map
+        restoration unwinds correctly. When ``restore_predictor`` is set the
+        branch history/RAS are rolled back to the snapshot of the *oldest*
+        squashed branch (the state right after the youngest surviving branch).
+        """
+        count = 0
+        best_seq = None
+        best_hist = 0
+        best_ras = 0
+
+        # The thread's instructions still in the shared decode/rename pipe
+        # are all younger than any dispatched pivot; mark them squashed (the
+        # pipe drain in _dispatch discards them) youngest-first.
+        if tc.pipe_count:
+            tid = tc.tid
+            for i in reversed(self.pipe):
+                if i.tid == tid and not i.squashed and i.seq > pivot_seq:
+                    count += 1
+                    self._squash_one(tc, i, flush)
+                    if i.op == _OP_BRANCH and (best_seq is None or i.seq < best_seq):
+                        best_seq = i.seq
+                        best_hist = i.ghist_snapshot
+                        best_ras = i.ras_snapshot
+
+        rob = tc.rob
+        while rob:
+            i = rob[-1]
+            if i.seq <= pivot_seq:
+                break
+            rob.pop()
+            count += 1
+            self._squash_one(tc, i, flush)
+            if i.op == _OP_BRANCH and (best_seq is None or i.seq < best_seq):
+                best_seq = i.seq
+                best_hist = i.ghist_snapshot
+                best_ras = i.ras_snapshot
+
+        if restore_predictor and best_seq is not None:
+            self.predictor.squash_recover(tc.tid, best_hist, best_ras, None)
+        return count
+
+    # ------------------------------------------------------------ FLUSH hook
+
+    def flush_after(self, load: DynInstr) -> int:
+        """FLUSH-policy action: squash everything in ``load``'s thread younger
+        than the load, rewind the trace cursor, and leave the thread on the
+        correct path. Returns the number of squashed instructions.
+
+        The caller (the policy) is responsible for fetch-gating the thread
+        until the load's fill (minus the advance signal).
+        """
+        if load.wrongpath or load.idx < 0:
+            raise ValueError("cannot flush after a wrong-path instruction")
+        tc = self.threads[load.tid]
+        count = self._squash_younger(tc, load.seq, flush=True, restore_predictor=True)
+        tc.wrongpath = False
+        tc.cursor = load.idx + 1
+        self.stats.flush_events[load.tid] += 1
+        return count
+
+    # ---------------------------------------------------------- introspection
+
+    def active_tids(self) -> list[int]:
+        """All context ids (every thread in a workload stays resident)."""
+        return list(range(self.num_threads))
+
+    def validate_state(self) -> None:
+        """Audit the resource-conservation invariants; raises AssertionError
+        on any violation. Cheap enough to sprinkle through long experiments
+        when debugging; the test suite and the property tests run it after
+        every kind of simulation.
+
+        Invariants checked:
+
+        - per-thread ROBs are in program order and hold no squashed instrs;
+        - issue-queue free counts + waiting occupants == configured sizes;
+        - free register counts + registers held by in-flight destinations ==
+          the rename pools;
+        - each thread's ICOUNT equals its pre-issue population;
+        - per-thread pipe counts match the shared pipe's contents;
+        - rename maps never point at squashed producers;
+        - in-flight-miss counters are non-negative.
+        """
+        used = [0, 0, 0]
+        held_int = held_fp = 0
+        live_pipe = [0] * self.num_threads
+        total_pipe = [0] * self.num_threads
+        for i in self.pipe:
+            total_pipe[i.tid] += 1
+            if not i.squashed:
+                live_pipe[i.tid] += 1
+        for tc in self.threads:
+            seqs = [i.seq for i in tc.rob]
+            assert seqs == sorted(seqs), f"t{tc.tid}: ROB out of order"
+            waiting = 0
+            for i in tc.rob:
+                assert not i.squashed, f"t{tc.tid}: squashed instr in ROB"
+                if not i.issued:
+                    used[QUEUE_OF[i.op]] += 1
+                    waiting += 1
+                if i.dest >= 32:
+                    held_fp += 1
+                elif i.dest >= 0:
+                    held_int += 1
+            assert tc.icount == live_pipe[tc.tid] + waiting, (
+                f"t{tc.tid}: icount {tc.icount} != pipe {live_pipe[tc.tid]}"
+                f" + waiting {waiting}"
+            )
+            assert tc.pipe_count == total_pipe[tc.tid], f"t{tc.tid}: pipe_count drift"
+            assert tc.dmiss >= 0, f"t{tc.tid}: negative dmiss"
+            for prod in tc.renmap:
+                assert prod is None or not prod.squashed, (
+                    f"t{tc.tid}: rename map points at squashed instr"
+                )
+        proc = self.machine.proc
+        n = self.num_threads
+        for q in range(3):
+            assert self.q_free[q] + used[q] == self._q_size[q], f"queue {q} leak"
+        assert self.free_int_regs + held_int == proc.int_regs - 32 * n, "int reg leak"
+        assert self.free_fp_regs + held_fp == proc.fp_regs - 32 * n, "fp reg leak"
+
+    def occupancy(self) -> dict:
+        """Live resource usage (testing/debugging hook)."""
+        return {
+            "free_int_regs": self.free_int_regs,
+            "free_fp_regs": self.free_fp_regs,
+            "q_free": list(self.q_free),
+            "rob": [len(tc.rob) for tc in self.threads],
+            "pipe": [tc.pipe_count for tc in self.threads],
+            "icount": [tc.icount for tc in self.threads],
+            "dmiss": [tc.dmiss for tc in self.threads],
+        }

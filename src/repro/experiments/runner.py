@@ -1,0 +1,264 @@
+"""ExperimentRunner: cached simulation driver for the experiment modules.
+
+Results are cached in memory and (optionally) as JSON on disk, keyed by
+(machine, workload, policy, simulation parameters), so sweeping six policies
+over twelve workloads pays each simulation exactly once — including across
+processes when a cache directory is given.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.config import MachineConfig, SimulationConfig, get_preset
+from repro.core import Simulator, SimResult, make_policy
+from repro.metrics.fairness import FairnessReport
+from repro.utils.rng import stable_hash64
+from repro.workloads import WorkloadSpec, build_programs, build_single, get_workload
+
+__all__ = ["ExperimentRunner", "ExperimentResult", "MultiSeedResult", "CACHE_VERSION"]
+
+#: Bump whenever a simulator behaviour change alters results without any
+#: config-visible difference (the cache key folds this in, so stale entries
+#: from older library versions can never be returned).
+CACHE_VERSION = 4
+
+
+@dataclasses.dataclass
+class MultiSeedResult:
+    """Aggregate of the same (workload, policy) run under several seeds."""
+
+    results: list[SimResult]
+
+    @property
+    def throughputs(self) -> list[float]:
+        return [r.throughput for r in self.results]
+
+    @property
+    def mean_throughput(self) -> float:
+        t = self.throughputs
+        return sum(t) / len(t)
+
+    @property
+    def throughput_stdev(self) -> float:
+        t = self.throughputs
+        if len(t) < 2:
+            return 0.0
+        mu = self.mean_throughput
+        return (sum((x - mu) ** 2 for x in t) / (len(t) - 1)) ** 0.5
+
+    def mean_ipc(self) -> list[float]:
+        """Per-thread IPC averaged over the seeds."""
+        n = self.results[0].num_threads
+        k = len(self.results)
+        return [sum(r.ipc[t] for r in self.results) / k for t in range(n)]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Output of one experiment module: a titled table plus checks.
+
+    ``checks`` maps a qualitative-claim description to a bool — the
+    reproduction bands recorded in EXPERIMENTS.md.
+    """
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = dataclasses.field(default_factory=list)
+    checks: dict[str, bool] = dataclasses.field(default_factory=dict)
+    extra: dict = dataclasses.field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Plain-text table + notes + check results (CLI output)."""
+        from repro.metrics.reporting import format_table
+
+        parts = [format_table(self.headers, self.rows, title=self.title)]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"  note: {n}" for n in self.notes)
+        if self.checks:
+            parts.append("")
+            for desc, ok in self.checks.items():
+                parts.append(f"  [{'PASS' if ok else 'MISS'}] {desc}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Markdown section for EXPERIMENTS.md."""
+        from repro.metrics.reporting import format_table
+
+        parts = [f"### {self.title}", ""]
+        parts.append(format_table(self.headers, self.rows, markdown=True))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"- {n}" for n in self.notes)
+        if self.checks:
+            parts.append("")
+            parts.append("| reproduction check | result |")
+            parts.append("|---|---|")
+            for desc, ok in self.checks.items():
+                parts.append(f"| {desc} | {'**pass**' if ok else 'miss'} |")
+        return "\n".join(parts)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+
+class ExperimentRunner:
+    """Runs (workload, policy) simulations with result caching."""
+
+    def __init__(
+        self,
+        machine: MachineConfig | str = "baseline",
+        simcfg: SimulationConfig | None = None,
+        cache_dir: str | Path | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.machine = get_preset(machine) if isinstance(machine, str) else machine
+        self.simcfg = simcfg or SimulationConfig()
+        self._mem_cache: dict[str, SimResult] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.verbose = verbose
+        self.simulations_run = 0
+
+    # ------------------------------------------------------------------
+
+    def with_machine(self, machine: MachineConfig | str) -> "ExperimentRunner":
+        """A runner for a different architecture sharing both caches (keys
+        include the machine, so sharing is collision-free)."""
+        other = ExperimentRunner(machine, self.simcfg, self.cache_dir, self.verbose)
+        other._mem_cache = self._mem_cache
+        return other
+
+    def _key(self, workload: str, policy: str) -> str:
+        sim = self.simcfg
+        h = stable_hash64(
+            CACHE_VERSION,
+            self.machine.name,
+            repr(self.machine),
+            workload,
+            policy,
+            sim.warmup_cycles,
+            sim.measure_cycles,
+            sim.max_cycles,
+            sim.commit_limit,
+            sim.trace_length,
+            sim.seed,
+            int(sim.prewarm_caches),
+        )
+        return f"{self.machine.name}-{workload}-{policy}-{h:016x}"
+
+    # ------------------------------------------------------------------
+
+    def run(self, workload: str | WorkloadSpec, policy: str) -> SimResult:
+        """Simulate one (workload, policy) pair; cached."""
+        wl_name = workload if isinstance(workload, str) else workload.name
+        key = self._key(wl_name, policy)
+        res = self._mem_cache.get(key)
+        if res is not None:
+            return res
+        res = self._load_disk(key)
+        if res is None:
+            res = self._simulate(workload, policy)
+            self._store_disk(key, res)
+        self._mem_cache[key] = res
+        return res
+
+    def run_single(self, bench: str, policy: str = "icount") -> SimResult:
+        """Simulate one benchmark running alone (Table 2(a) / baselines)."""
+        return self.run(bench, policy)
+
+    def alone_ipc(self, bench: str) -> float:
+        """Single-thread reference IPC (ICOUNT, thread alone) for Hmean."""
+        return self.run_single(bench).ipc[0]
+
+    def alone_ipc_map(self, benchmarks: Iterable[str]) -> dict[str, float]:
+        """Single-thread reference IPCs for a set of benchmarks."""
+        return {b: self.alone_ipc(b) for b in set(benchmarks)}
+
+    def fairness(self, workload: str, policy: str) -> FairnessReport:
+        """FairnessReport (relative IPCs, Hmean) for one run."""
+        res = self.run(workload, policy)
+        alone = self.alone_ipc_map(res.benchmarks)
+        return FairnessReport.from_result(res, alone)
+
+    def hmean(self, workload: str, policy: str) -> float:
+        """Hmean of relative IPCs for one (workload, policy) run."""
+        return self.fairness(workload, policy).hmean
+
+    # -- multi-seed robustness -------------------------------------------
+
+    def run_multi(
+        self, workload: str | WorkloadSpec, policy: str, seeds: Iterable[int]
+    ) -> "MultiSeedResult":
+        """Run the same (workload, policy) under several trace seeds.
+
+        The paper runs each point once on fixed traces; with synthetic
+        traces, seed variation quantifies how much of an observed policy gap
+        is substance versus trace luck. Results are cached per seed.
+        """
+        results = []
+        base_simcfg = self.simcfg
+        for seed in seeds:
+            sub = ExperimentRunner(
+                self.machine,
+                dataclasses.replace(base_simcfg, seed=seed),
+                self.cache_dir,
+                self.verbose,
+            )
+            sub._mem_cache = self._mem_cache  # share within this runner
+            results.append(sub.run(workload, policy))
+            self.simulations_run += sub.simulations_run
+        return MultiSeedResult(results)
+
+    # ------------------------------------------------------------------
+
+    def _simulate(self, workload: str | WorkloadSpec, policy: str) -> SimResult:
+        if isinstance(workload, str):
+            try:
+                spec = get_workload(workload)
+                programs = build_programs(spec, self.simcfg)
+            except KeyError:
+                programs = build_single(workload, self.simcfg)
+        else:
+            programs = build_programs(workload, self.simcfg)
+        if self.verbose:  # pragma: no cover
+            wl = workload if isinstance(workload, str) else workload.name
+            print(f"[sim] {self.machine.name} {wl} {policy}", flush=True)
+        sim = Simulator(self.machine, programs, make_policy(policy), self.simcfg)
+        self.simulations_run += 1
+        return sim.run()
+
+    # -- disk cache -----------------------------------------------------
+
+    def _load_disk(self, key: str) -> SimResult | None:
+        if not self.cache_dir:
+            return None
+        path = self.cache_dir / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            data["benchmarks"] = tuple(data["benchmarks"])
+            return SimResult(**data)
+        except (json.JSONDecodeError, TypeError, KeyError):  # corrupt cache
+            path.unlink(missing_ok=True)
+            return None
+
+    def _store_disk(self, key: str, res: SimResult) -> None:
+        if not self.cache_dir:
+            return
+        path = self.cache_dir / f"{key}.json"
+        payload = dataclasses.asdict(res)
+        payload["benchmarks"] = list(payload["benchmarks"])
+        path.write_text(json.dumps(payload))

@@ -1,0 +1,37 @@
+"""The synthetic ISA model.
+
+The simulator is trace-driven, so the "ISA" is deliberately minimal: an
+instruction is a class (INT/FP/LOAD/STORE/BRANCH), up to two source registers,
+an optional destination register, an optional effective address, and — for
+branches — kind, outcome and target. This is the same abstraction level as
+SMTSIM's trace records, and is all the evaluated fetch policies can observe.
+"""
+
+from repro.isa.opcodes import OpClass, BranchKind, QUEUE_OF, QUEUE_INT, QUEUE_FP, QUEUE_LS
+from repro.isa.registers import (
+    NUM_INT_ARCH_REGS,
+    NUM_FP_ARCH_REGS,
+    NUM_ARCH_REGS,
+    REG_NONE,
+    is_fp_reg,
+    int_reg,
+    fp_reg,
+)
+from repro.isa.instruction import DynInstr
+
+__all__ = [
+    "OpClass",
+    "BranchKind",
+    "QUEUE_OF",
+    "QUEUE_INT",
+    "QUEUE_FP",
+    "QUEUE_LS",
+    "NUM_INT_ARCH_REGS",
+    "NUM_FP_ARCH_REGS",
+    "NUM_ARCH_REGS",
+    "REG_NONE",
+    "is_fp_reg",
+    "int_reg",
+    "fp_reg",
+    "DynInstr",
+]

@@ -1,0 +1,172 @@
+"""Dynamic instruction record.
+
+A ``DynInstr`` is created once per *fetched* instruction — including wrong-path
+instructions and re-fetches after a FLUSH — and threads through every pipeline
+stage. It is the single hottest allocation in the simulator, hence
+``__slots__`` and plain attributes only (see the hpc-parallel optimization
+guide: avoid per-cycle dict churn in the hot loop).
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import BranchKind, OpClass
+from repro.isa.registers import REG_NONE
+
+__all__ = ["DynInstr"]
+
+
+class DynInstr:
+    """One in-flight dynamic instruction.
+
+    Lifecycle::
+
+        fetch -> (frontend: decode/rename latency) -> dispatch -> issue
+              -> execute/memory -> complete -> commit
+
+    or squashed at any point before commit (branch mispredict recovery or a
+    FLUSH-policy flush). A squashed instruction is never removed from event
+    payloads; events check :attr:`squashed` when they fire.
+    """
+
+    __slots__ = (
+        # identity
+        "tid",          # hardware context id
+        "seq",          # per-thread monotone sequence number (program order)
+        "idx",          # index into the thread's static trace; -1 = wrong path
+        # decoded fields (copied from the trace record / wrong-path supplier)
+        "op",           # OpClass value (plain int)
+        "pc",
+        "dest",         # flat arch reg id or REG_NONE
+        "src1",
+        "src2",
+        "addr",         # effective address (loads/stores), 0 otherwise
+        "brkind",       # BranchKind value
+        "taken",        # actual branch outcome
+        "target",       # actual next PC if taken
+        # fetch-time prediction state
+        "pred_taken",
+        "pred_target",
+        "mispredicted",  # direction or target wrong; resolves at complete
+        "ghist_snapshot",  # thread branch-history register before this branch
+        "ras_snapshot",    # RAS top-of-stack index before this branch
+        "wrongpath",    # fetched down a mispredicted path
+        # pipeline state
+        "fetch_cycle",
+        "dispatch_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "dispatched",
+        "issued",
+        "completed",
+        "squashed",
+        # dataflow
+        "num_wait",     # unready source operands (set at dispatch)
+        "dependents",   # list[DynInstr] woken when this completes
+        "prev_writer1", # rename-map entries shadowed by this instr's dest
+        # global fetch-order stamp (issue-select age priority across threads)
+        "gseq",
+        # policy scratch slot (e.g. PDG's per-load counting state)
+        "pmeta",
+        # memory behaviour (filled at execute)
+        "l1_miss",
+        "l2_miss",
+        "tlb_miss",
+        "dmiss_counted",  # this load raised the thread's in-flight-miss counter
+        "fill_cycle",   # when the cache line arrives (misses only)
+        "declared",     # L2 miss declared to the policy (STALL/FLUSH DM)
+        "flushed_after",  # this load triggered a FLUSH
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        seq: int,
+        idx: int,
+        op: int,
+        pc: int,
+        dest: int = REG_NONE,
+        src1: int = REG_NONE,
+        src2: int = REG_NONE,
+        addr: int = 0,
+        brkind: int = BranchKind.NONE,
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self.tid = tid
+        self.seq = seq
+        self.idx = idx
+        self.op = op
+        self.pc = pc
+        self.dest = dest
+        self.src1 = src1
+        self.src2 = src2
+        self.addr = addr
+        self.brkind = brkind
+        self.taken = taken
+        self.target = target
+
+        self.pred_taken = False
+        self.pred_target = 0
+        self.mispredicted = False
+        self.ghist_snapshot = 0
+        self.ras_snapshot = 0
+        self.wrongpath = False
+
+        self.fetch_cycle = -1
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.dispatched = False
+        self.issued = False
+        self.completed = False
+        self.squashed = False
+
+        self.gseq = 0
+        self.pmeta = None
+
+        self.num_wait = 0
+        self.dependents: list[DynInstr] = []
+        self.prev_writer1 = None
+
+        self.l1_miss = False
+        self.l2_miss = False
+        self.tlb_miss = False
+        self.dmiss_counted = False
+        self.fill_cycle = -1
+        self.declared = False
+        self.flushed_after = False
+
+    # -- conveniences (not used on the hot path) ---------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.op == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op == OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op == OpClass.BRANCH
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op == OpClass.LOAD or self.op == OpClass.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            f
+            for f, on in (
+                ("D", self.dispatched),
+                ("I", self.issued),
+                ("C", self.completed),
+                ("X", self.squashed),
+                ("W", self.wrongpath),
+            )
+            if on
+        )
+        return (
+            f"<DynInstr t{self.tid}#{self.seq} {OpClass(self.op).name}"
+            f" pc={self.pc:#x} idx={self.idx} [{flags}]>"
+        )

@@ -1,0 +1,62 @@
+"""Instruction classes and branch kinds.
+
+Plain ``int`` constants (wrapped in IntEnum for readability at API surface)
+because the simulator hot loop compares these millions of times; IntEnum
+members compare as ints with no overhead once bound to locals.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = [
+    "OpClass",
+    "BranchKind",
+    "QUEUE_INT",
+    "QUEUE_FP",
+    "QUEUE_LS",
+    "QUEUE_OF",
+    "QUEUE_NAMES",
+]
+
+
+class OpClass(IntEnum):
+    """Coarse functional class of an instruction.
+
+    Matches the granularity the paper's resource model cares about: which
+    issue queue an instruction occupies and which functional-unit pool it
+    needs.
+    """
+
+    INT = 0      # integer ALU op
+    FP = 1       # floating-point op
+    LOAD = 2     # memory read
+    STORE = 3    # memory write
+    BRANCH = 4   # control transfer (cond/uncond/call/return)
+
+
+class BranchKind(IntEnum):
+    """Sub-kind of OpClass.BRANCH (NONE for non-branches)."""
+
+    NONE = 0
+    COND = 1    # conditional direct branch
+    JUMP = 2    # unconditional direct jump
+    CALL = 3    # call (pushes return address on RAS)
+    RET = 4     # return (pops RAS)
+
+
+# Which shared issue queue each op class occupies. Branches use the integer
+# queue and integer ALUs, as in SMTSIM-era models of Alpha-like cores.
+QUEUE_INT = 0
+QUEUE_FP = 1
+QUEUE_LS = 2
+
+QUEUE_OF: tuple[int, ...] = (
+    QUEUE_INT,   # OpClass.INT
+    QUEUE_FP,    # OpClass.FP
+    QUEUE_LS,    # OpClass.LOAD
+    QUEUE_LS,    # OpClass.STORE
+    QUEUE_INT,   # OpClass.BRANCH
+)
+
+QUEUE_NAMES = ("int", "fp", "ls")

@@ -1,0 +1,50 @@
+"""Architectural register model.
+
+Each hardware context exposes 32 integer and 32 floating-point architectural
+registers (Alpha-like). Register ids are flat: 0..31 integer, 32..63 FP,
+which lets the rename stage use a single per-thread map array.
+
+The *physical* register files are a shared, counted resource configured in
+:mod:`repro.config.processor` (the paper's 384 int + 384 fp). Per the paper's
+resource arithmetic, ``n_threads * 32`` physical registers per file hold
+committed architectural state and only the remainder is available for
+in-flight renaming — which is why register pressure grows with thread count.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NUM_INT_ARCH_REGS",
+    "NUM_FP_ARCH_REGS",
+    "NUM_ARCH_REGS",
+    "REG_NONE",
+    "is_fp_reg",
+    "int_reg",
+    "fp_reg",
+]
+
+NUM_INT_ARCH_REGS = 32
+NUM_FP_ARCH_REGS = 32
+NUM_ARCH_REGS = NUM_INT_ARCH_REGS + NUM_FP_ARCH_REGS
+
+#: Sentinel for "no register" in trace records and DynInstr fields.
+REG_NONE = -1
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True if a flat register id names an FP architectural register."""
+    return reg >= NUM_INT_ARCH_REGS
+
+
+def int_reg(n: int) -> int:
+    """Flat id of integer architectural register ``n`` (0..31)."""
+    if not 0 <= n < NUM_INT_ARCH_REGS:
+        raise ValueError(f"integer register index out of range: {n}")
+    return n
+
+
+def fp_reg(n: int) -> int:
+    """Flat id of FP architectural register ``n`` (0..31)."""
+    if not 0 <= n < NUM_FP_ARCH_REGS:
+        raise ValueError(f"fp register index out of range: {n}")
+    return NUM_INT_ARCH_REGS + n

@@ -1,0 +1,130 @@
+"""Set-associative LRU cache with bank-conflict accounting.
+
+Sets are small Python lists of line tags kept in LRU order (MRU last): for
+2-way caches a list scan beats any indexed structure, and `list.pop/append`
+keep the hot path allocation-free (hpc guide: minimize per-access work).
+
+Addresses are byte addresses; the cache operates on line addresses
+(``addr >> line_shift``).
+"""
+
+from __future__ import annotations
+
+from repro.config.memory import CacheConfig
+
+__all__ = ["Cache"]
+
+
+class Cache:
+    """One cache level's tag array. Latency/fill policy live in the hierarchy."""
+
+    __slots__ = (
+        "cfg",
+        "name",
+        "line_shift",
+        "_set_mask",
+        "_assoc",
+        "_sets",
+        "_bank_mask",
+        "_bank_busy_cycle",
+        "_bank_busy",
+        "accesses",
+        "misses",
+        "bank_conflicts",
+    )
+
+    def __init__(self, cfg: CacheConfig) -> None:
+        cfg.validate()
+        self.cfg = cfg
+        self.name = cfg.name
+        self.line_shift = cfg.line_bytes.bit_length() - 1
+        num_sets = cfg.num_sets
+        self._set_mask = num_sets - 1
+        self._assoc = cfg.assoc
+        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self._bank_mask = cfg.banks - 1
+        # Bank arbitration: one access per bank per cycle. We track, per
+        # cycle, which banks have been used; stale entries are reset lazily.
+        self._bank_busy_cycle = -1
+        self._bank_busy = 0  # bitmask over banks used this cycle
+        self.accesses = 0
+        self.misses = 0
+        self.bank_conflicts = 0
+
+    # -- tag array ----------------------------------------------------------
+
+    def probe(self, line_addr: int) -> bool:
+        """True if the line is present; updates LRU on hit. Counts stats."""
+        self.accesses += 1
+        s = self._sets[line_addr & self._set_mask]
+        tag = line_addr
+        n = len(s)
+        if n and s[n - 1] == tag:  # MRU fast path
+            return True
+        for i in range(n - 1):
+            if s[i] == tag:
+                s.append(s.pop(i))
+                return True
+        self.misses += 1
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        """Presence check without LRU update or stats (testing/policy hook)."""
+        return line_addr in self._sets[line_addr & self._set_mask]
+
+    def fill(self, line_addr: int) -> int:
+        """Insert a line, evicting LRU if needed. Returns the victim line
+        address or -1 (used by the hierarchy for inclusive back-invalidation
+        accounting; we model non-inclusive caches so victims are dropped)."""
+        s = self._sets[line_addr & self._set_mask]
+        if line_addr in s:
+            return -1
+        victim = -1
+        if len(s) >= self._assoc:
+            victim = s.pop(0)
+        s.append(line_addr)
+        return victim
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Remove a line if present (returns True if it was)."""
+        s = self._sets[line_addr & self._set_mask]
+        try:
+            s.remove(line_addr)
+            return True
+        except ValueError:
+            return False
+
+    # -- banking -------------------------------------------------------------
+
+    def bank_conflict(self, line_addr: int, cycle: int) -> bool:
+        """Claim the bank for ``line_addr`` at ``cycle``.
+
+        Returns True — and counts a conflict — if the bank was already used
+        this cycle (caller then delays the access by one cycle). Lines map to
+        banks by low line-address bits, the usual interleaving.
+        """
+        if cycle != self._bank_busy_cycle:
+            self._bank_busy_cycle = cycle
+            self._bank_busy = 0
+        bit = 1 << (line_addr & self._bank_mask)
+        if self._bank_busy & bit:
+            self.bank_conflicts += 1
+            return True
+        self._bank_busy |= bit
+        return False
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def occupancy(self) -> int:
+        """Number of valid lines (testing hook)."""
+        return sum(len(s) for s in self._sets)
+
+    def reset_stats(self) -> None:
+        """Zero the access/miss/conflict counters (tag state untouched)."""
+        self.accesses = 0
+        self.misses = 0
+        self.bank_conflicts = 0

@@ -1,0 +1,54 @@
+"""CSV export for experiment results — the bridge to external plotting.
+
+The paper's figures are bar charts over (workload, policy) matrices; these
+helpers emit exactly those series as CSV so any plotting stack (matplotlib,
+gnuplot, a spreadsheet) can regenerate the figures from a report run::
+
+    from repro.experiments import ExperimentRunner, figure1
+    from repro.metrics.export import result_to_csv, matrix_to_csv
+
+    runner = ExperimentRunner("baseline")
+    res = figure1.run(runner)
+    result_to_csv(res, "figure1.csv")
+    matrix_to_csv(res.extra["matrix"], "figure1_matrix.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping
+
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["result_to_csv", "matrix_to_csv"]
+
+
+def result_to_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write an experiment's table (headers + rows) as CSV."""
+    out = Path(path)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+    return out
+
+
+def matrix_to_csv(matrix: Mapping[str, Mapping[str, float]], path: str | Path) -> Path:
+    """Write a workload -> policy -> value matrix as CSV (policies as columns).
+
+    This is the shape ``figure1.throughput_matrix`` / ``figure3.hmean_matrix``
+    produce, i.e. the series of the paper's Figure 1(a)/3 bar charts.
+    """
+    out = Path(path)
+    policies: list[str] = []
+    for row in matrix.values():
+        for pol in row:
+            if pol not in policies:
+                policies.append(pol)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["workload"] + policies)
+        for wl, row in matrix.items():
+            writer.writerow([wl] + [row.get(p, "") for p in policies])
+    return out

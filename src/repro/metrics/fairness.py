@@ -1,0 +1,80 @@
+"""Throughput/fairness metrics.
+
+The paper reports two metrics (§5):
+
+- **throughput**: the sum of per-thread IPCs — efficient resource use, but
+  gameable by feeding high-ILP threads;
+- **Hmean** (Luo et al. [8]): the harmonic mean of *relative* IPCs, where a
+  thread's relative IPC is its multithreaded IPC divided by the IPC it
+  achieves running alone on the same machine. Hmean punishes starving any
+  thread, so it balances throughput against fairness better than Weighted
+  Speedup (which is why the paper uses it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.result import SimResult
+from repro.utils.mathx import harmonic_mean
+
+__all__ = ["relative_ipcs", "hmean_relative", "weighted_speedup", "FairnessReport"]
+
+
+def relative_ipcs(result: SimResult, alone_ipc: Mapping[str, float] | Sequence[float]) -> list[float]:
+    """Per-thread relative IPCs of a multithreaded run.
+
+    ``alone_ipc`` is either a mapping benchmark-name -> single-thread IPC, or
+    a sequence indexed by thread slot. Replicated benchmarks share their
+    single-thread reference (they are the same program).
+    """
+    rel = []
+    for t, bench in enumerate(result.benchmarks):
+        if isinstance(alone_ipc, Mapping):
+            base = alone_ipc[bench]
+        else:
+            base = alone_ipc[t]
+        if base <= 0:
+            raise ValueError(f"single-thread IPC for {bench!r} must be positive")
+        rel.append(result.ipc[t] / base)
+    return rel
+
+
+def hmean_relative(result: SimResult, alone_ipc) -> float:
+    """The paper's Hmean metric for one run."""
+    return harmonic_mean(relative_ipcs(result, alone_ipc))
+
+
+def weighted_speedup(result: SimResult, alone_ipc) -> float:
+    """Snavely/Tullsen weighted speedup: mean of relative IPCs. Reported for
+    completeness; the paper prefers Hmean."""
+    rel = relative_ipcs(result, alone_ipc)
+    return sum(rel) / len(rel)
+
+
+@dataclass
+class FairnessReport:
+    """Both metrics for one (workload, policy) run, plus the raw ingredients
+    — the shape of the paper's Table 4 rows."""
+
+    policy: str
+    benchmarks: tuple[str, ...]
+    ipc: list[float]
+    relative: list[float]
+    throughput: float
+    hmean: float
+    wspeedup: float
+
+    @classmethod
+    def from_result(cls, result: SimResult, alone_ipc) -> "FairnessReport":
+        rel = relative_ipcs(result, alone_ipc)
+        return cls(
+            policy=result.policy,
+            benchmarks=result.benchmarks,
+            ipc=list(result.ipc),
+            relative=rel,
+            throughput=result.throughput,
+            hmean=harmonic_mean(rel),
+            wspeedup=sum(rel) / len(rel),
+        )

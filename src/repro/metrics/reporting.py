@@ -1,0 +1,48 @@
+"""Plain-text/markdown table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_pct"]
+
+
+def format_pct(value: float, signed: bool = True) -> str:
+    """Render a percentage like the paper's improvement figures."""
+    return f"{value:+.1f}%" if signed else f"{value:.1f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    markdown: bool = False,
+) -> str:
+    """Fixed-width (or markdown) table; floats rendered to 3 decimals."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, v in enumerate(row):
+            if len(v) > widths[i]:
+                widths[i] = len(v)
+
+    lines = []
+    if title:
+        lines.append(title)
+    if markdown:
+        lines.append("| " + " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)) + " |")
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for row in str_rows:
+            lines.append("| " + " | ".join(v.ljust(widths[i]) for i, v in enumerate(row)) + " |")
+    else:
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in str_rows:
+            lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,315 @@
+"""The synthetic trace generator: a dynamic walk over the CFG.
+
+A trace is the *correct-path* dynamic instruction sequence of one thread:
+parallel, immutable lists (struct-of-arrays — the hot fetch loop indexes
+plain Python lists, the fastest random-access container for this pattern).
+Index ``i+1`` is always the architectural successor of index ``i``; the final
+record is patched into an unconditional jump back to index 0 so traces wrap
+seamlessly when a simulated thread outruns its trace.
+
+Traces are cached per (profile, length, seed, base, instance): the cache
+makes sweeping 6 policies over the same workload pay generation cost once.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import BranchKind, OpClass
+from repro.isa.registers import REG_NONE
+from repro.trace.address_space import CODE_OFFSET, LINE_BYTES, AddressSpace, set_stagger
+from repro.trace.codegen import INSTR_BYTES, CodeLayout
+from repro.trace.profiles import BenchmarkProfile
+from repro.utils.rng import SplitMix64, derive_seed
+
+__all__ = ["SyntheticTrace", "generate_trace", "clear_trace_cache"]
+
+_MAX_CALL_DEPTH = 64
+
+
+class SyntheticTrace:
+    """Immutable per-thread instruction trace (struct-of-arrays)."""
+
+    __slots__ = (
+        "profile",
+        "length",
+        "base",
+        "seed",
+        "instance",
+        "layout",
+        "aspace",
+        # parallel record arrays
+        "pc",
+        "op",
+        "dest",
+        "src1",
+        "src2",
+        "addr",
+        "brkind",
+        "taken",
+        "target",
+    )
+
+    def __init__(self, profile: BenchmarkProfile, length: int, base: int, seed: int, instance: int) -> None:
+        self.profile = profile
+        self.length = length
+        self.base = base
+        self.seed = seed
+        self.instance = instance
+        walk_seed = derive_seed(seed, "walk", profile.name, instance)
+        code_seed = derive_seed(seed, "code", profile.name, instance)
+        addr_seed = derive_seed(seed, "addr", profile.name, instance)
+        code_base = base + CODE_OFFSET + set_stagger(base) * LINE_BYTES
+        self.layout = CodeLayout(profile, code_base, code_seed)
+        self.pc: list[int] = []
+        self.op: list[int] = []
+        self.dest: list[int] = []
+        self.src1: list[int] = []
+        self.src2: list[int] = []
+        self.addr: list[int] = []
+        self.brkind: list[int] = []
+        self.taken: list[bool] = []
+        self.target: list[int] = []
+        expected_loads = int(length * profile.load_frac)
+        self.aspace = AddressSpace(profile, base, addr_seed, expected_loads=expected_loads)
+        self._walk(SplitMix64(walk_seed), self.aspace)
+        self._patch_wrap()
+
+    # ------------------------------------------------------------------
+
+    def _walk(self, rng: SplitMix64, aspace: AddressSpace) -> None:
+        layout = self.layout
+        blocks = layout.blocks
+        length = self.length
+        profile = self.profile
+
+        pc_l = self.pc
+        op_l = self.op
+        dest_l = self.dest
+        src1_l = self.src1
+        src2_l = self.src2
+        addr_l = self.addr
+        brkind_l = self.brkind
+        taken_l = self.taken
+        target_l = self.target
+
+        # Body op mix, renormalized with branches excluded (the terminal
+        # branch of each block supplies branch_frac; bodies carry the rest).
+        non_branch = 1.0 - profile.branch_frac
+        cum_load = profile.load_frac / non_branch
+        cum_store = cum_load + profile.store_frac / non_branch
+        cum_fp = cum_store + profile.fp_frac / non_branch
+
+        op_load = int(OpClass.LOAD)
+        op_store = int(OpClass.STORE)
+        op_fp = int(OpClass.FP)
+        op_int = int(OpClass.INT)
+        brk_none = int(BranchKind.NONE)
+
+        # Dataflow state: sources come from recently-written registers; the
+        # window size controls the dependency-chain tightness (ILP).
+        recent_dests: list[int] = []
+        dep_cap = profile.dep_window
+        load_use_frac = profile.load_use_frac
+        load_indep_frac = profile.load_indep_frac
+        force_src = REG_NONE
+
+        # Duplicate benchmark instances start the walk elsewhere, the
+        # analogue of the paper shifting second instances by 1M instructions.
+        block = blocks[(self.instance * 7919) % len(blocks)]
+        call_stack: list[int] = []  # fall-through *block indices*
+        # Per-branch loop countdowns: strongly-biased conditionals behave as
+        # loop branches (N majority outcomes, then one minority, with +-1
+        # jitter) — the pattern real predictors exploit. I.i.d. outcome draws
+        # would make the gshare history pure noise and cap accuracy far below
+        # real SPECINT levels.
+        cond_state: dict[int, int] = {}
+
+        emitted = 0
+        while emitted < length:
+            bpc = block.pc
+            for off in range(block.body_len):
+                if emitted >= length:
+                    return
+                u = rng.next_float()
+                if u < cum_load:
+                    op = op_load
+                elif u < cum_store:
+                    op = op_store
+                elif u < cum_fp:
+                    op = op_fp
+                else:
+                    op = op_int
+
+                if op == op_load and rng.next_float() < load_indep_frac:
+                    # Address from a long-lived base register (28..30 are
+                    # never destinations): the load is ready at dispatch, so
+                    # its miss can overlap earlier misses (MLP).
+                    src1 = 28 + rng.next_below(3)
+                    if force_src != REG_NONE:
+                        force_src = REG_NONE  # consumer folded into the load
+                elif force_src != REG_NONE:
+                    src1 = force_src
+                    force_src = REG_NONE
+                elif recent_dests:
+                    src1 = recent_dests[rng.next_below(len(recent_dests))]
+                else:
+                    src1 = rng.next_below(28)
+                if op != op_load and recent_dests and rng.next_float() < 0.5:
+                    src2 = recent_dests[rng.next_below(len(recent_dests))]
+                else:
+                    src2 = REG_NONE
+
+                if op == op_store:
+                    dest = REG_NONE
+                    addr = aspace.store_address()
+                elif op == op_load:
+                    dest = rng.next_below(28)
+                    addr = aspace.load_address()
+                elif op == op_fp:
+                    dest = 32 + rng.next_below(28)
+                    addr = 0
+                else:
+                    dest = rng.next_below(28)
+                    addr = 0
+
+                pc_l.append(bpc + off * INSTR_BYTES)
+                op_l.append(op)
+                dest_l.append(dest)
+                src1_l.append(src1)
+                src2_l.append(src2)
+                addr_l.append(addr)
+                brkind_l.append(brk_none)
+                taken_l.append(False)
+                target_l.append(0)
+                emitted += 1
+
+                if dest != REG_NONE:
+                    recent_dests.append(dest)
+                    if len(recent_dests) > dep_cap:
+                        recent_dests.pop(0)
+                if op == op_load and rng.next_float() < load_use_frac:
+                    force_src = dest
+            if emitted >= length:
+                return
+
+            # Terminal branch of the block.
+            brkind = block.brkind
+            fall_idx = layout.fallthrough_block(block.index)
+            if brkind == BranchKind.COND:
+                bias = block.bias
+                if 0.25 <= bias <= 0.75:
+                    # Genuinely data-dependent branch: unpredictable.
+                    taken = rng.next_float() < bias
+                else:
+                    major_is_taken = bias > 0.5
+                    p_major = bias if major_is_taken else 1.0 - bias
+                    period = max(1, round(p_major / (1.0 - p_major)))
+                    k = cond_state.get(block.index)
+                    if k is None:
+                        k = period + rng.next_below(3) - 1
+                    if k > 0:
+                        cond_state[block.index] = k - 1
+                        taken = major_is_taken
+                    else:
+                        cond_state[block.index] = period + rng.next_below(3) - 1
+                        taken = not major_is_taken
+                next_idx = block.taken_index if taken else fall_idx
+            elif brkind == BranchKind.JUMP:
+                taken, next_idx = True, block.taken_index
+            elif brkind == BranchKind.CALL:
+                taken, next_idx = True, block.taken_index
+                if len(call_stack) < _MAX_CALL_DEPTH:
+                    call_stack.append(fall_idx)
+            else:  # RET
+                taken = True
+                if call_stack:
+                    next_idx = call_stack.pop()
+                else:
+                    # Underflowed stack: emit this instance as a plain jump to
+                    # the block's static fallback target. Mixing dynamic
+                    # (popped) and static targets under one RET pc would
+                    # desynchronize the RAS and poison the BTB entry.
+                    brkind = BranchKind.JUMP
+                    next_idx = block.taken_index
+
+            next_block = blocks[next_idx]
+            pc_l.append(block.branch_pc)
+            op_l.append(int(OpClass.BRANCH))
+            # Conditional branches read a recently-computed value; calls
+            # write the link register (arch reg 31 by convention).
+            dest_l.append(31 if brkind == BranchKind.CALL else REG_NONE)
+            src1_l.append(rng.next_below(28) if brkind == BranchKind.COND else REG_NONE)
+            src2_l.append(REG_NONE)
+            addr_l.append(0)
+            brkind_l.append(brkind)
+            taken_l.append(taken)
+            target_l.append(next_block.pc if taken else block.fallthrough_pc)
+            emitted += 1
+            block = next_block
+
+    def _patch_wrap(self) -> None:
+        """Rewrite the final record as a jump to index 0 so the trace wraps."""
+        i = self.length - 1
+        self.op[i] = int(OpClass.BRANCH)
+        self.dest[i] = REG_NONE
+        self.src1[i] = REG_NONE
+        self.src2[i] = REG_NONE
+        self.addr[i] = 0
+        self.brkind[i] = int(BranchKind.JUMP)
+        self.taken[i] = True
+        self.target[i] = self.pc[0]
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.length
+
+    def record(self, i: int) -> tuple:
+        """One record as a tuple (testing/debugging; the simulator indexes
+        the parallel lists directly)."""
+        return (
+            self.pc[i],
+            self.op[i],
+            self.dest[i],
+            self.src1[i],
+            self.src2[i],
+            self.addr[i],
+            self.brkind[i],
+            self.taken[i],
+            self.target[i],
+        )
+
+    def op_counts(self) -> dict[int, int]:
+        """Histogram of op classes (calibration checks)."""
+        counts: dict[int, int] = {}
+        for op in self.op:
+            counts[op] = counts.get(op, 0) + 1
+        return counts
+
+
+_TRACE_CACHE: dict[tuple, SyntheticTrace] = {}
+
+
+def generate_trace(
+    profile: BenchmarkProfile,
+    length: int,
+    base: int,
+    seed: int,
+    instance: int = 0,
+) -> SyntheticTrace:
+    """Generate (or fetch from cache) a trace for one benchmark instance.
+
+    ``instance`` distinguishes replicated benchmarks within a workload (the
+    paper's boldfaced duplicates): each instance gets a decorrelated walk and
+    its own address space base.
+    """
+    key = (profile, length, base, seed, instance)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = SyntheticTrace(profile, length, base, seed, instance)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (tests use this to bound memory)."""
+    _TRACE_CACHE.clear()

@@ -1,0 +1,115 @@
+"""Wrong-path instruction supply.
+
+The paper's simulator "allows the execution of wrong path instructions by
+using a separate basic block dictionary that contains all the static
+instructions" (§4). When a branch is mispredicted, fetch proceeds down the
+predicted (wrong) path until the branch resolves; those instructions occupy
+fetch bandwidth, rename registers and issue-queue entries, and their loads
+pollute the caches — all effects the fetch policies must live with.
+
+This supplier deterministically manufactures plausible instructions for any
+(pc, offset) pair, so re-fetching the same wrong path yields the same
+instructions (deterministic simulation) without storing anything.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import BranchKind, OpClass
+from repro.isa.registers import NUM_INT_ARCH_REGS, REG_NONE
+from repro.trace.address_space import LINE_BYTES, WRONGPATH_OFFSET, set_stagger
+from repro.trace.codegen import INSTR_BYTES
+from repro.trace.profiles import BenchmarkProfile
+from repro.utils.rng import stable_hash64
+
+__all__ = ["WrongPathSupplier"]
+
+
+class WrongPathSupplier:
+    """Stateless-per-instruction generator of wrong-path records."""
+
+    __slots__ = ("profile", "base", "seed", "_cum_load", "_cum_store", "_cum_fp", "_wp_lines", "_wp_line_base", "_memo")
+
+    def __init__(self, profile: BenchmarkProfile, base: int, seed: int) -> None:
+        self.profile = profile
+        self.base = base
+        self.seed = seed
+        non_branch = 1.0 - profile.branch_frac
+        self._cum_load = profile.load_frac / non_branch
+        self._cum_store = self._cum_load + profile.store_frac / non_branch
+        self._cum_fp = self._cum_store + profile.fp_frac / non_branch
+        # Wrong-path data touches a modest region: mostly "nearby" lines that
+        # may or may not be resident — realistic pollution, not pure noise.
+        # The region's line indices start at 3392 so its L1 sets (320..447)
+        # and L2 sets (3392..3519) collide with neither the hot/stack tiers
+        # (L1 sets 0..63/0..31) nor the warm tier's set families
+        # (256+g+512j): pollution competes for capacity, not for the exact
+        # sets the calibrated tiers depend on.
+        self._wp_lines = 128
+        self._wp_line_base = 3392 + set_stagger(base)
+        # Records are a pure function of pc: memoize (wrong paths repeat
+        # constantly — the same mispredicted branches fire again and again,
+        # and the hash was a visible slice of the fetch profile).
+        self._memo: dict[int, tuple] = {}
+
+    def supply(self, pc: int) -> tuple[int, int, int, int, int, int, bool, int]:
+        """Record for the wrong-path instruction at ``pc``.
+
+        Returns ``(op, dest, src1, src2, addr, brkind, taken, target)``; the
+        caller advances the wrong-path PC by ``INSTR_BYTES`` each fetch.
+        Wrong-path branches are emitted as never-taken conditionals so the
+        wrong path streams sequentially — their outcomes are irrelevant since
+        they are squashed before resolution matters.
+        """
+        memo = self._memo
+        rec = memo.get(pc)
+        if rec is not None:
+            return rec
+        rec = self._make(pc)
+        if len(memo) < 65536:
+            memo[pc] = rec
+        return rec
+
+    def _make(self, pc: int) -> tuple[int, int, int, int, int, int, bool, int]:
+        h = stable_hash64(self.seed, pc)
+        u = ((h >> 16) & 0xFFFF) / 65536.0
+        dest_bits = (h >> 32) & 0xFFFF
+        src_bits = (h >> 48) & 0xFFFF
+
+        if u < self._cum_load:
+            op = int(OpClass.LOAD)
+            dest = dest_bits % 28
+            # Wrong-path code mostly touches the same working set as the
+            # correct path (it *is* nearby code): 70% of wrong-path loads hit
+            # the thread's hot region, the rest pollute a wrong-path region.
+            if (h >> 5) % 10 < 7:
+                line = set_stagger(self.base) + (h >> 8) % max(16, self.profile.hot_lines)
+                addr = self.base + line * LINE_BYTES
+            else:
+                line = self._wp_line_base + (h >> 8) % self._wp_lines
+                addr = self.base + WRONGPATH_OFFSET + line * LINE_BYTES
+            return (op, dest, src_bits % NUM_INT_ARCH_REGS, REG_NONE, addr, int(BranchKind.NONE), False, 0)
+        if u < self._cum_store:
+            op = int(OpClass.STORE)
+            line = self._wp_line_base + (h >> 8) % self._wp_lines
+            addr = self.base + WRONGPATH_OFFSET + line * LINE_BYTES
+            return (op, REG_NONE, src_bits % NUM_INT_ARCH_REGS, dest_bits % NUM_INT_ARCH_REGS, addr, int(BranchKind.NONE), False, 0)
+        if u < self._cum_fp:
+            op = int(OpClass.FP)
+            dest = NUM_INT_ARCH_REGS + dest_bits % 28
+            src = NUM_INT_ARCH_REGS + src_bits % 28
+            return (op, dest, src, REG_NONE, 0, int(BranchKind.NONE), False, 0)
+        if u > 1.0 - self.profile.branch_frac:
+            # Not-taken conditional: keeps branch density realistic on the
+            # wrong path without needing wrong-path control flow.
+            return (
+                int(OpClass.BRANCH),
+                REG_NONE,
+                src_bits % NUM_INT_ARCH_REGS,
+                REG_NONE,
+                0,
+                int(BranchKind.COND),
+                False,
+                pc + INSTR_BYTES,
+            )
+        op = int(OpClass.INT)
+        return (op, dest_bits % 28, src_bits % NUM_INT_ARCH_REGS, (h >> 24) % NUM_INT_ARCH_REGS, 0, int(BranchKind.NONE), False, 0)

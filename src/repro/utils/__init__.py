@@ -1,0 +1,19 @@
+"""Small shared utilities: deterministic RNG helpers, event wheels, and math helpers.
+
+These are deliberately dependency-free so every other subpackage can use them
+without import cycles.
+"""
+
+from repro.utils.rng import derive_seed, stable_hash64, SplitMix64
+from repro.utils.events import EventWheel
+from repro.utils.mathx import harmonic_mean, geometric_mean, safe_div
+
+__all__ = [
+    "derive_seed",
+    "stable_hash64",
+    "SplitMix64",
+    "EventWheel",
+    "harmonic_mean",
+    "geometric_mean",
+    "safe_div",
+]

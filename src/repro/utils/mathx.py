@@ -1,0 +1,44 @@
+"""Numeric helpers shared by metrics and experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["harmonic_mean", "geometric_mean", "safe_div", "pct_improvement"]
+
+
+def safe_div(num: float, den: float, default: float = 0.0) -> float:
+    """num/den, returning ``default`` when the denominator is zero."""
+    return num / den if den else default
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean; zero if any value is zero (the limit), per Luo et al.
+
+    The Hmean-of-relative-IPCs metric punishes starving any single thread,
+    which is exactly why the paper uses it as its fairness metric.
+    """
+    vals = list(values)
+    if not vals:
+        return 0.0
+    if any(v <= 0.0 for v in vals):
+        return 0.0
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; zero if any value is non-positive."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    if any(v <= 0.0 for v in vals):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def pct_improvement(ours: float, theirs: float) -> float:
+    """Percent improvement of ``ours`` over ``theirs`` (paper's Figure 1b/3)."""
+    if theirs == 0.0:
+        return 0.0
+    return (ours / theirs - 1.0) * 100.0

@@ -1,0 +1,21 @@
+"""Multiprogrammed workloads (the paper's Table 2(b)) and thread builders."""
+
+from repro.workloads.builder import ThreadProgram, build_programs, build_single
+from repro.workloads.specint import (
+    WorkloadSpec,
+    WORKLOADS,
+    get_workload,
+    workloads_for_machine,
+    ALL_BENCHMARKS,
+)
+
+__all__ = [
+    "ThreadProgram",
+    "build_programs",
+    "build_single",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "get_workload",
+    "workloads_for_machine",
+    "ALL_BENCHMARKS",
+]

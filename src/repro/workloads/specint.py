@@ -1,0 +1,96 @@
+"""Table 2(b): the 12 multiprogrammed workloads.
+
+Workloads range from 2 to 8 threads in three classes: ILP (all benchmarks
+have good cache behaviour), MEM (all have an L2 miss rate above 1%), and MIX
+(both kinds). MEM workloads replicate benchmarks (boldface in the paper's
+table) because SPECINT has only four memory-bound programs; replicated
+instances are decorrelated (the paper shifts them by one million
+instructions; we give each instance an independent walk phase and address
+base — see ``repro.trace.synthetic``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.profiles import PROFILES
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOADS",
+    "get_workload",
+    "workloads_for_machine",
+    "ALL_BENCHMARKS",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One multiprogrammed workload: a name like '4-MIX' plus benchmarks."""
+
+    name: str
+    benchmarks: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for b in self.benchmarks:
+            if b not in PROFILES:
+                raise ValueError(f"{self.name}: unknown benchmark {b!r}")
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.benchmarks)
+
+    @property
+    def wl_class(self) -> str:
+        """'ILP', 'MIX' or 'MEM' (from the name)."""
+        return self.name.split("-", 1)[1]
+
+    @property
+    def size_class(self) -> int:
+        """Thread count from the name ('4-MIX' -> 4)."""
+        return int(self.name.split("-", 1)[0])
+
+
+def _w(name: str, *benchmarks: str) -> WorkloadSpec:
+    return WorkloadSpec(name, tuple(benchmarks))
+
+
+#: Table 2(b), verbatim.
+WORKLOADS: dict[str, WorkloadSpec] = {
+    w.name: w
+    for w in (
+        _w("2-ILP", "gzip", "bzip2"),
+        _w("2-MIX", "gzip", "twolf"),
+        _w("2-MEM", "mcf", "twolf"),
+        _w("4-ILP", "gzip", "bzip2", "eon", "gcc"),
+        _w("4-MIX", "gzip", "twolf", "bzip2", "mcf"),
+        _w("4-MEM", "mcf", "twolf", "vpr", "parser"),
+        _w("6-ILP", "gzip", "bzip2", "eon", "gcc", "crafty", "perlbmk"),
+        _w("6-MIX", "gzip", "twolf", "bzip2", "mcf", "vpr", "eon"),
+        _w("6-MEM", "mcf", "twolf", "vpr", "parser", "mcf", "twolf"),
+        _w("8-ILP", "gzip", "bzip2", "eon", "gcc", "crafty", "perlbmk", "gap", "vortex"),
+        _w("8-MIX", "gzip", "twolf", "bzip2", "mcf", "vpr", "eon", "parser", "gap"),
+        _w("8-MEM", "mcf", "twolf", "vpr", "parser", "mcf", "twolf", "vpr", "parser"),
+    )
+}
+
+#: Every distinct benchmark appearing in any workload.
+ALL_BENCHMARKS: tuple[str, ...] = tuple(sorted(PROFILES))
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a Table 2(b) workload (KeyError lists valid names)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; valid: {sorted(WORKLOADS)}") from None
+
+
+def workloads_for_machine(max_contexts: int) -> list[WorkloadSpec]:
+    """Workloads that fit a machine, in the paper's presentation order.
+
+    The §6 'small' machine has 4 contexts, so (like the paper's Figure 4) it
+    is evaluated on the 2- and 4-thread workloads only.
+    """
+    order = sorted(WORKLOADS.values(), key=lambda w: (w.size_class, ["ILP", "MIX", "MEM"].index(w.wl_class)))
+    return [w for w in order if w.num_threads <= max_contexts]

@@ -1,0 +1,52 @@
+"""Shared fixtures: small, fast simulation configs for unit/integration tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.config import SimulationConfig, baseline, deep, small
+
+# Property tests must not flake when the machine is busy (e.g. experiment
+# sweeps running in parallel): disable wall-clock deadlines globally.
+settings.register_profile(
+    "repro", deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def tiny_simcfg() -> SimulationConfig:
+    """Very short run: enough cycles to exercise every pipeline path."""
+    return SimulationConfig(
+        warmup_cycles=300,
+        measure_cycles=1_500,
+        trace_length=6_000,
+        seed=777,
+    )
+
+
+@pytest.fixture(scope="session")
+def short_simcfg() -> SimulationConfig:
+    """Short-but-meaningful run for behavioural assertions."""
+    return SimulationConfig(
+        warmup_cycles=1_000,
+        measure_cycles=8_000,
+        trace_length=20_000,
+        seed=777,
+    )
+
+
+@pytest.fixture(scope="session")
+def baseline_machine():
+    return baseline()
+
+
+@pytest.fixture(scope="session")
+def small_machine():
+    return small()
+
+
+@pytest.fixture(scope="session")
+def deep_machine():
+    return deep()

@@ -1,0 +1,117 @@
+"""Smoke tests for each experiment module at tiny scale.
+
+Qualitative check outcomes are noisy at this scale, so these tests assert
+the *machinery*: every module runs, produces the right table shape, and the
+checks dict is populated. The full-scale check assertions live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core import PAPER_POLICIES
+from repro.experiments import (
+    ExperimentRunner,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    table2a,
+    table4,
+)
+
+TINY = SimulationConfig(warmup_cycles=150, measure_cycles=900, trace_length=4000, seed=77)
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(
+        "baseline", TINY, cache_dir=tmp_path_factory.mktemp("expcache")
+    )
+
+
+class TestTable2a:
+    def test_runs(self, runner):
+        res = table2a.run(runner)
+        assert len(res.rows) == 12
+        assert res.headers[0] == "benchmark"
+        assert len(res.checks) >= 36
+        assert "Table 2(a)" in res.to_text()
+
+
+class TestFigure1:
+    def test_runs(self, runner):
+        res = figure1.run(runner)
+        # 12 workloads + 3 class-average rows... absolute rows hold the
+        # throughput table: 12 workloads.
+        assert len(res.rows) == 12
+        assert set(res.headers[1:]) == set(PAPER_POLICIES)
+        assert "matrix" in res.extra
+        for wl, t in res.extra["matrix"].items():
+            assert set(t) == set(PAPER_POLICIES)
+            assert all(v > 0 for v in t.values()), wl
+
+    def test_improvement_math(self, runner):
+        res = figure1.run(runner)
+        avgs = res.extra["class_avgs"]
+        assert set(avgs) == {"icount", "stall", "flush", "dg", "pdg"}
+        for other, by_class in avgs.items():
+            assert set(by_class) == {"ILP", "MIX", "MEM"}
+
+
+class TestFigure2:
+    def test_runs(self, runner):
+        res = figure2.run(runner)
+        # 12 workload rows + 3 averages.
+        assert len(res.rows) == 15
+        assert set(res.extra["avg"]) == {"ILP", "MIX", "MEM"}
+        assert all(v >= 0 for v in res.extra["avg"].values())
+
+
+class TestFigure3:
+    def test_runs(self, runner):
+        res = figure3.run(runner)
+        assert "matrix" in res.extra
+        for wl, h in res.extra["matrix"].items():
+            for pol, val in h.items():
+                assert 0 <= val <= 2.0, (wl, pol, val)
+
+
+class TestTable4:
+    def test_runs(self, runner):
+        res = table4.run(runner)
+        assert len(res.rows) == len(PAPER_POLICIES)
+        assert set(res.extra["hmeans"]) == set(PAPER_POLICIES)
+        # relative IPCs present for all four 4-MIX threads
+        for pol, rel in res.extra["relative"].items():
+            assert set(rel) == {"gzip", "twolf", "bzip2", "mcf"}
+
+
+@pytest.mark.slow
+class TestSmallDeepMachines:
+    def test_figure4_runs(self, runner):
+        res = figure4.run(runner)
+        # 6 workloads fit the 4-context machine.
+        assert len(res.rows) == 6
+        assert "throughput" in res.extra and "hmean" in res.extra
+
+    def test_figure5_runs(self, runner):
+        res = figure5.run(runner)
+        assert len(res.rows) == 12
+        assert res.extra["mem_flushed"] >= 0
+
+
+class TestExtMetrics:
+    def test_runs(self, runner):
+        from repro.experiments import ext_metrics
+
+        res = ext_metrics.run(runner)
+        # 3 workloads x 6 policies.
+        assert len(res.rows) == 18
+        # ranks are permutations of 1..6 per workload and metric
+        for wl in ("4-MIX", "8-MIX", "4-MEM"):
+            ranks = [r[5] for r in res.rows if r[0] == wl]
+            assert sorted(ranks) == [1, 2, 3, 4, 5, 6]

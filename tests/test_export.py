@@ -1,0 +1,54 @@
+"""Tests for CSV export helpers."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.experiments.runner import ExperimentResult
+from repro.metrics import matrix_to_csv, result_to_csv
+
+
+class TestResultToCsv:
+    def test_roundtrip(self, tmp_path):
+        res = ExperimentResult(
+            name="x", title="T", headers=["a", "b"], rows=[[1, 2.5], ["x", "y"]]
+        )
+        out = result_to_csv(res, tmp_path / "r.csv")
+        rows = list(csv.reader(out.open()))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+        assert rows[2] == ["x", "y"]
+
+
+class TestMatrixToCsv:
+    def test_shape(self, tmp_path):
+        matrix = {
+            "2-MIX": {"icount": 1.0, "dwarn": 1.2},
+            "4-MIX": {"icount": 2.0, "dwarn": 2.4},
+        }
+        out = matrix_to_csv(matrix, tmp_path / "m.csv")
+        rows = list(csv.reader(out.open()))
+        assert rows[0] == ["workload", "icount", "dwarn"]
+        assert rows[1] == ["2-MIX", "1.0", "1.2"]
+        assert len(rows) == 3
+
+    def test_missing_cells_blank(self, tmp_path):
+        matrix = {"2-MIX": {"icount": 1.0}, "4-MIX": {"dwarn": 2.4}}
+        out = matrix_to_csv(matrix, tmp_path / "m.csv")
+        rows = list(csv.reader(out.open()))
+        assert rows[0] == ["workload", "icount", "dwarn"]
+        assert rows[1] == ["2-MIX", "1.0", ""]
+        assert rows[2] == ["4-MIX", "", "2.4"]
+
+    def test_real_experiment_matrix(self, tmp_path):
+        from repro.config import SimulationConfig
+        from repro.experiments import ExperimentRunner
+
+        runner = ExperimentRunner(
+            "baseline",
+            SimulationConfig(warmup_cycles=50, measure_cycles=400, trace_length=2500),
+        )
+        matrix = {"2-ILP": {p: runner.run("2-ILP", p).throughput for p in ("icount", "dwarn")}}
+        out = matrix_to_csv(matrix, tmp_path / "real.csv")
+        rows = list(csv.reader(out.open()))
+        assert float(rows[1][1]) > 0

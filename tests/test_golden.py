@@ -1,0 +1,43 @@
+"""Golden regression pins: exact results for two tiny reference simulations.
+
+The simulator is deterministic pure Python, so these values are identical on
+every platform. If a change breaks them *intentionally* (model improvement,
+substrate retuning), update the numbers AND bump
+``repro.experiments.runner.CACHE_VERSION`` so persisted experiment caches
+cannot serve stale results; if it breaks them unintentionally, that is the
+bug these pins exist to catch.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationConfig, baseline
+from repro.core import Simulator, make_policy
+from repro.workloads import build_programs, get_workload
+
+CFG = SimulationConfig(warmup_cycles=200, measure_cycles=1500, trace_length=6000, seed=777)
+
+
+def run(workload: str, policy: str):
+    programs = build_programs(get_workload(workload), CFG)
+    return Simulator(baseline(), programs, make_policy(policy), CFG).run()
+
+
+def test_golden_values_unchanged():
+    a = run("2-MIX", "icount")
+    b = run("2-MEM", "flush")
+    got = {
+        "2-MIX/icount/committed": tuple(a.committed),
+        "2-MIX/icount/fetched": tuple(a.fetched),
+        "2-MEM/flush/committed": tuple(b.committed),
+        "2-MEM/flush/flushed": tuple(b.squashed_flush),
+    }
+    expected = {
+        "2-MIX/icount/committed": (1255, 1653),
+        "2-MIX/icount/fetched": (2595, 2124),
+        "2-MEM/flush/committed": (225, 856),
+        "2-MEM/flush/flushed": (651, 377),
+    }
+    assert got == expected, (
+        "golden values drifted — intentional model change? Update the pins "
+        f"and bump CACHE_VERSION. Got: {got}"
+    )

@@ -1,0 +1,122 @@
+"""End-to-end integration tests: public API, determinism across components,
+calibration sanity at reduced scale, and cross-policy behavioural contracts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    PAPER_POLICIES,
+    SimulationConfig,
+    hmean_relative,
+    quick_run,
+    relative_ipcs,
+)
+
+
+CFG = SimulationConfig(warmup_cycles=1500, measure_cycles=12_000, trace_length=30_000, seed=2024)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quick_run_workload(self):
+        res = quick_run("2-ILP", "dwarn", simcfg=CFG.scaled(0.2))
+        assert res.policy == "dwarn"
+        assert res.num_threads == 2
+
+    def test_quick_run_single_benchmark(self):
+        res = quick_run("gzip", "icount", simcfg=CFG.scaled(0.2))
+        assert res.benchmarks == ("gzip",)
+
+    def test_quick_run_unknown_workload(self):
+        with pytest.raises(KeyError, match="4-MIX"):
+            quick_run("not-a-workload")
+
+    def test_quick_run_machines(self):
+        for machine in ("baseline", "small", "deep"):
+            res = quick_run("2-MIX", "dwarn", machine, CFG.scaled(0.15))
+            assert res.machine == machine
+
+
+class TestCalibrationAtScale:
+    """Coarse Table 2(a) sanity at test scale (the full bands are benched)."""
+
+    @pytest.mark.parametrize("bench,l1_lo,l1_hi", [
+        ("mcf", 20.0, 45.0),
+        ("twolf", 3.0, 9.0),
+        ("gzip", 1.2, 4.5),
+        ("eon", 0.0, 0.8),
+    ])
+    def test_l1_missrate_band(self, bench, l1_lo, l1_hi):
+        res = quick_run(bench, "icount", simcfg=CFG)
+        l1 = 100 * res.l1_load_missrate(0)
+        assert l1_lo <= l1 <= l1_hi
+
+    def test_mem_ilp_ipc_separation(self):
+        mcf = quick_run("mcf", "icount", simcfg=CFG)
+        gzip = quick_run("gzip", "icount", simcfg=CFG)
+        assert gzip.ipc[0] > 3 * mcf.ipc[0]
+
+    def test_gzip_l1_misses_rarely_reach_l2(self):
+        res = quick_run("gzip", "icount", simcfg=CFG)
+        l1 = res.load_l1_misses[0]
+        l2 = res.load_l2_misses[0]
+        assert l1 > 0
+        assert l2 / l1 < 0.25  # paper: 2%
+
+    def test_mcf_l1_misses_mostly_reach_l2(self):
+        res = quick_run("mcf", "icount", simcfg=CFG)
+        assert res.load_l2_misses[0] / res.load_l1_misses[0] > 0.7  # paper: 92%
+
+
+class TestPolicyContracts:
+    """Cross-policy invariants at integration scale."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {p: quick_run("2-MEM", p, simcfg=CFG) for p in PAPER_POLICIES}
+
+    def test_all_policies_complete(self, results):
+        for pol, res in results.items():
+            assert res.cycles > 0 and all(c > 0 for c in res.committed), pol
+
+    def test_same_workload_same_traces(self, results):
+        names = {res.benchmarks for res in results.values()}
+        assert names == {("mcf", "twolf")}
+
+    def test_dwarn_beats_icount_on_2mem(self, results):
+        # The 2-thread MEM case is the paper's motivating scenario; the
+        # hybrid gate should give DWarn a solid edge over plain ICOUNT.
+        assert results["dwarn"].throughput > results["icount"].throughput
+
+    def test_dg_overgates_on_two_threads(self, results):
+        # Paper §5.1: with few threads DG's stalls cannot be absorbed.
+        assert results["dg"].throughput < results["dwarn"].throughput
+
+    def test_fairness_metric_integration(self, results):
+        alone = {
+            "mcf": quick_run("mcf", "icount", simcfg=CFG).ipc[0],
+            "twolf": quick_run("twolf", "icount", simcfg=CFG).ipc[0],
+        }
+        for pol, res in results.items():
+            rel = relative_ipcs(res, alone)
+            h = hmean_relative(res, alone)
+            assert 0 < h <= 1.5
+            assert len(rel) == 2
+
+
+class TestSeedStability:
+    def test_full_stack_determinism(self):
+        a = quick_run("4-MIX", "flush", simcfg=CFG.scaled(0.2))
+        b = quick_run("4-MIX", "flush", simcfg=CFG.scaled(0.2))
+        assert a.committed == b.committed
+        assert a.squashed_flush == b.squashed_flush
+        assert a.load_l1_misses == b.load_l1_misses

@@ -1,0 +1,185 @@
+"""Tests for the memory hierarchy: latencies, MSHR merging, TLB, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.memory import MemoryConfig, TLBConfig
+from repro.mem import MemoryHierarchy, TLB
+
+
+def make_hier(n=1) -> MemoryHierarchy:
+    return MemoryHierarchy(MemoryConfig(), n)
+
+
+# Addresses on distinct pages to exercise the TLB independently of caches.
+A = 0x10000
+B = 0x20000
+
+
+class TestLoadTiming:
+    def test_l1_hit_latency(self):
+        h = make_hier()
+        h.load_access(0, A, 0)          # cold: install line + page
+        res = h.load_access(0, A, 400)  # hot (past the fill cycle)
+        assert res.latency == 1
+        assert not res.l1_miss
+
+    def test_l2_hit_latency(self):
+        h = make_hier()
+        h.load_access(0, A, 0)  # in L1 + L2 now
+        # Evict from L1 by filling two conflicting lines (same set, 2-way).
+        conflict1 = A + 512 * 64
+        conflict2 = A + 2 * 512 * 64
+        h.load_access(0, conflict1, 200)
+        h.load_access(0, conflict2, 400)
+        res = h.load_access(0, A, 600)
+        assert res.l1_miss and not res.l2_miss
+        assert res.latency == 11  # 1 (L1) + 10 (L2)
+
+    def test_memory_latency(self):
+        h = make_hier()
+        res = h.load_access(0, A, 0)
+        assert res.l1_miss and res.l2_miss
+        # 1 + 10 + 100 (+160 TLB miss on first touch of the page)
+        assert res.latency == 111 + 160
+        assert res.tlb_miss
+
+    def test_fill_cycle_reported(self):
+        h = make_hier()
+        h.load_access(0, B, 0)  # warm the page
+        res = h.load_access(0, A + (1 << 25), 50)
+        assert res.fill_cycle == 50 + res.latency
+
+
+class TestMSHRMerging:
+    def test_second_access_merges(self):
+        h = make_hier()
+        h.load_access(0, B, 0)
+        r1 = h.load_access(0, A, 100)   # miss, fill at 100+lat
+        r2 = h.load_access(0, A + 8, 110)  # same line, still outstanding
+        assert r2.merged
+        assert r2.l1_miss
+        assert r2.l2_miss == r1.l2_miss
+        assert r2.fill_cycle == r1.fill_cycle
+        assert r2.latency == r1.fill_cycle - 110
+
+    def test_access_after_fill_hits(self):
+        h = make_hier()
+        r1 = h.load_access(0, A, 0)
+        res = h.load_access(0, A, r1.fill_cycle + 1)
+        assert not res.l1_miss
+
+    def test_fill_arrived_cleans_outstanding(self):
+        h = make_hier()
+        r1 = h.load_access(0, A, 0)
+        line = A >> h.line_shift
+        assert line in h._outstanding_d
+        h.fill_arrived(line)
+        assert line not in h._outstanding_d
+        # And the tag array still holds the line.
+        res = h.load_access(0, A, r1.fill_cycle + 5)
+        assert not res.l1_miss
+
+
+class TestStores:
+    def test_store_allocates_line_for_later_load(self):
+        h = make_hier()
+        r = h.store_access(0, A, 0)
+        assert r.l1_miss
+        res = h.load_access(0, A, r.fill_cycle + 1)
+        assert not res.l1_miss
+
+    def test_store_stats_separate(self):
+        h = make_hier()
+        h.store_access(0, A, 0)
+        assert h.stores[0] == 1
+        assert h.loads[0] == 0
+        assert h.store_l1_misses[0] == 1
+        assert h.load_l1_misses[0] == 0
+
+
+class TestIFetch:
+    def test_miss_then_ready(self):
+        h = make_hier()
+        pc = 0x5000_0000
+        hit, ready = h.ifetch_access(0, pc, 0)
+        assert not hit
+        assert ready == 0 + 1 + 10 + 100  # icache + L2 + memory
+        # Before the fill: still a miss with the same ready cycle.
+        hit2, ready2 = h.ifetch_access(0, pc, ready - 5)
+        assert not hit2 and ready2 == ready
+        # After the fill: hit.
+        hit3, _ = h.ifetch_access(0, pc, ready)
+        assert hit3
+
+    def test_l2_hit_path(self):
+        h = make_hier()
+        pc = 0x5000_0000
+        _, ready = h.ifetch_access(0, pc, 0)
+        # Evict from icache (2-way, 512 sets) but not from L2.
+        h.ifetch_access(0, pc + 512 * 64, ready + 1)
+        h.ifetch_access(0, pc + 2 * 512 * 64, ready + 200)
+        hit, ready2 = h.ifetch_access(0, pc, ready + 400)
+        assert not hit
+        assert ready2 == ready + 400 + 1 + 10
+
+    def test_ifetch_miss_stat(self):
+        h = make_hier()
+        h.ifetch_access(0, 0x6000_0000, 0)
+        assert h.ifetch_misses[0] == 1
+
+
+class TestTLB:
+    def test_miss_once_per_page(self):
+        t = TLB(TLBConfig())
+        assert not t.access(0x0)
+        assert t.access(0x100)          # same 8KB page
+        assert not t.access(0x4000)     # next page
+
+    def test_lru_within_set(self):
+        t = TLB(TLBConfig(entries=4, assoc=2, page_bytes=8192))
+        # pages 0, 2, 4 map to set 0 (2 sets).
+        t.access(0 * 8192)
+        t.access(2 * 8192)
+        t.access(4 * 8192)  # evicts page 0
+        assert not t.access(0 * 8192)
+
+    def test_tlb_penalty_in_load(self):
+        h = make_hier()
+        r1 = h.load_access(0, A, 0)
+        assert r1.tlb_miss
+        r2 = h.load_access(0, A + 64, 500)  # same page
+        assert not r2.tlb_miss
+
+
+class TestPerThreadStats:
+    def test_threads_tracked_independently(self):
+        h = make_hier(2)
+        h.load_access(0, A, 0)
+        h.load_access(1, B + (1 << 30), 0)
+        h.load_access(1, B + (1 << 30), 300)
+        assert h.loads == [1, 2]
+        assert h.load_l1_misses == [1, 1]
+
+    def test_miss_rates_helper(self):
+        h = make_hier()
+        h.load_access(0, A, 0)             # L1+L2 miss
+        h.load_access(0, A, 300)           # hit
+        l1, l2, ratio = h.load_miss_rates(0)
+        assert l1 == pytest.approx(0.5)
+        assert l2 == pytest.approx(0.5)
+        assert ratio == pytest.approx(1.0)
+
+    def test_count_stats_false_skips_counting(self):
+        h = make_hier()
+        h.load_access(0, A, 0, count_stats=False)
+        assert h.loads[0] == 0
+
+    def test_snapshot_copies(self):
+        h = make_hier()
+        h.load_access(0, A, 0)
+        snap = h.snapshot()
+        h.load_access(0, B, 300)
+        assert snap["loads"][0] == 1
+        assert h.loads[0] == 2

@@ -1,0 +1,111 @@
+"""Tests for fairness metrics and table formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.result import SimResult
+from repro.metrics import (
+    FairnessReport,
+    format_pct,
+    format_table,
+    hmean_relative,
+    relative_ipcs,
+    weighted_speedup,
+)
+
+
+def make_result(ipc, benchmarks=None) -> SimResult:
+    n = len(ipc)
+    benchmarks = tuple(benchmarks or [f"b{i}" for i in range(n)])
+    return SimResult(
+        machine="baseline",
+        policy="icount",
+        benchmarks=benchmarks,
+        seed=1,
+        cycles=1000,
+        ipc=list(ipc),
+        committed=[int(x * 1000) for x in ipc],
+        fetched=[int(x * 1200) for x in ipc],
+        squashed_mispredict=[0] * n,
+        squashed_flush=[0] * n,
+        flush_events=[0] * n,
+        mispredicts=[0] * n,
+        branches_resolved=[1] * n,
+        loads=[100] * n,
+        load_l1_misses=[10] * n,
+        load_l2_misses=[5] * n,
+    )
+
+
+class TestRelativeIPCs:
+    def test_with_mapping(self):
+        res = make_result([1.0, 0.5], ["gzip", "mcf"])
+        rel = relative_ipcs(res, {"gzip": 2.0, "mcf": 0.5})
+        assert rel == [0.5, 1.0]
+
+    def test_with_sequence(self):
+        res = make_result([1.0, 0.5])
+        assert relative_ipcs(res, [2.0, 1.0]) == [0.5, 0.5]
+
+    def test_replicated_benchmarks_share_reference(self):
+        res = make_result([0.4, 0.2], ["mcf", "mcf"])
+        rel = relative_ipcs(res, {"mcf": 0.4})
+        assert rel == [1.0, 0.5]
+
+    def test_zero_reference_rejected(self):
+        res = make_result([1.0], ["gzip"])
+        with pytest.raises(ValueError):
+            relative_ipcs(res, {"gzip": 0.0})
+
+
+class TestHmeanAndWspeedup:
+    def test_hmean(self):
+        res = make_result([1.0, 1.0], ["a", "b"])
+        assert hmean_relative(res, {"a": 1.0, "b": 3.0}) == pytest.approx(0.5)
+
+    def test_weighted_speedup(self):
+        res = make_result([1.0, 1.0], ["a", "b"])
+        assert weighted_speedup(res, {"a": 1.0, "b": 2.0}) == pytest.approx(0.75)
+
+    @given(st.lists(st.floats(min_value=0.05, max_value=4.0), min_size=2, max_size=8))
+    def test_property_hmean_le_wspeedup(self, ipcs):
+        res = make_result(ipcs)
+        alone = [2.0] * len(ipcs)
+        assert hmean_relative(res, alone) <= weighted_speedup(res, alone) + 1e-9
+
+
+class TestFairnessReport:
+    def test_from_result(self):
+        res = make_result([1.0, 0.5], ["gzip", "mcf"])
+        rep = FairnessReport.from_result(res, {"gzip": 2.0, "mcf": 0.5})
+        assert rep.policy == "icount"
+        assert rep.relative == [0.5, 1.0]
+        assert rep.throughput == pytest.approx(1.5)
+        assert rep.hmean == pytest.approx(2 / (1 / 0.5 + 1 / 1.0))
+        assert rep.wspeedup == pytest.approx(0.75)
+
+
+class TestFormatting:
+    def test_format_pct(self):
+        assert format_pct(12.34) == "+12.3%"
+        assert format_pct(-3.21) == "-3.2%"
+        assert format_pct(12.34, signed=False) == "12.3%"
+
+    def test_format_table_plain(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in out
+
+    def test_format_table_markdown(self):
+        out = format_table(["a"], [[1]], markdown=True)
+        assert out.splitlines()[0].startswith("| a")
+        assert "|---" in out.splitlines()[1].replace(" ", "")
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["averylongcell"], ["s"]])
+        lines = out.splitlines()
+        assert len(lines[1]) >= len("averylongcell")

@@ -1,0 +1,79 @@
+"""Tests for the process-pool sweep executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import ExperimentRunner, prefetch, run_pairs, sweep_pairs
+
+TINY = SimulationConfig(warmup_cycles=100, measure_cycles=700, trace_length=4000, seed=3)
+
+
+class TestSweepPairs:
+    def test_baseline_pairs(self):
+        runner = ExperimentRunner("baseline", TINY)
+        pairs = sweep_pairs(runner, ("icount", "dwarn"))
+        wls = {wl for wl, _ in pairs}
+        assert "8-MEM" in wls and "2-ILP" in wls
+        # 12 workloads x 2 policies + 12 single baselines
+        assert len(pairs) == 12 * 2 + 12
+
+    def test_small_machine_pairs(self):
+        runner = ExperimentRunner("small", TINY)
+        pairs = sweep_pairs(runner, ("icount",), include_singles=False)
+        assert {wl for wl, _ in pairs} == {
+            "2-ILP", "2-MIX", "2-MEM", "4-ILP", "4-MIX", "4-MEM",
+        }
+
+
+class TestRunPairs:
+    def test_serial_path(self):
+        runner = ExperimentRunner("baseline", TINY)
+        out = run_pairs(runner.machine, TINY, [("2-ILP", "icount")], processes=1)
+        assert len(out) == 1
+        wl, pol, res = out[0]
+        assert (wl, pol) == ("2-ILP", "icount")
+        assert res.throughput > 0
+
+    def test_parallel_matches_serial(self):
+        runner = ExperimentRunner("baseline", TINY)
+        pairs = [("2-ILP", "icount"), ("2-MIX", "dwarn"), ("gzip", "icount")]
+        serial = run_pairs(runner.machine, TINY, pairs, processes=1)
+        parallel = run_pairs(runner.machine, TINY, pairs, processes=2)
+        s = {(w, p): r.committed for w, p, r in serial}
+        q = {(w, p): r.committed for w, p, r in parallel}
+        assert s == q  # determinism across process boundaries
+
+    def test_empty(self):
+        runner = ExperimentRunner("baseline", TINY)
+        assert run_pairs(runner.machine, TINY, [], processes=2) == []
+
+
+class TestPrefetch:
+    def test_fills_caches(self, tmp_path):
+        runner = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
+        n = prefetch(runner, [("2-ILP", "icount"), ("2-ILP", "dwarn")], processes=2)
+        assert n == 2
+        before = runner.simulations_run
+        runner.run("2-ILP", "icount")  # cache hit
+        assert runner.simulations_run == before
+
+    def test_skips_cached(self, tmp_path):
+        runner = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
+        runner.run("2-ILP", "icount")
+        n = prefetch(runner, [("2-ILP", "icount")], processes=2)
+        assert n == 0
+
+    def test_dedupes(self, tmp_path):
+        runner = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
+        n = prefetch(runner, [("2-MIX", "flush")] * 3, processes=2)
+        assert n == 1
+
+    def test_prefetched_equals_direct(self, tmp_path):
+        r1 = ExperimentRunner("baseline", TINY, cache_dir=tmp_path / "a")
+        prefetch(r1, [("2-MEM", "dwarn")], processes=2)
+        via_pool = r1.run("2-MEM", "dwarn")
+        r2 = ExperimentRunner("baseline", TINY, cache_dir=tmp_path / "b")
+        direct = r2.run("2-MEM", "dwarn")
+        assert via_pool.committed == direct.committed

@@ -1,0 +1,88 @@
+"""Property-based tests: the simulator must uphold its invariants for *any*
+reasonable configuration, workload and policy — not just the paper's points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import SimulationConfig, baseline
+from repro.core import POLICIES, Simulator, make_policy
+from repro.workloads import WORKLOADS, build_programs, get_workload
+
+
+def audit(sim: Simulator) -> None:
+    """Resource-conservation audit: the simulator's built-in validator."""
+    sim.validate_state()
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    workload=st.sampled_from(sorted(WORKLOADS)),
+    policy=st.sampled_from(sorted(POLICIES)),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_invariants_for_any_workload_policy_seed(workload, policy, seed):
+    simcfg = SimulationConfig(
+        warmup_cycles=0, measure_cycles=700, trace_length=3000, seed=seed
+    )
+    programs = build_programs(get_workload(workload), simcfg)
+    sim = Simulator(baseline(), programs, make_policy(policy), simcfg)
+    sim.run_cycles(700)
+    audit(sim)
+    # Forward progress: something committed on some thread.
+    assert sum(sim.stats.committed) > 0
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    fetch_width=st.sampled_from([2, 4, 8]),
+    fetch_threads=st.sampled_from([1, 2, 4]),
+    int_queue=st.sampled_from([8, 32]),
+    frontend_depth=st.sampled_from([2, 4, 9]),
+)
+def test_invariants_for_any_machine_geometry(
+    fetch_width, fetch_threads, int_queue, frontend_depth
+):
+    machine = baseline().with_proc(
+        fetch_width=fetch_width,
+        fetch_threads=min(fetch_threads, 8),
+        issue_width=fetch_width,
+        commit_width=fetch_width,
+        int_queue=int_queue,
+        frontend_depth=frontend_depth,
+    )
+    simcfg = SimulationConfig(
+        warmup_cycles=0, measure_cycles=600, trace_length=3000, seed=5
+    )
+    programs = build_programs(get_workload("2-MIX"), simcfg)
+    sim = Simulator(machine, programs, make_policy("dwarn"), simcfg)
+    sim.run_cycles(600)
+    audit(sim)
+    assert sum(sim.stats.committed) > 0
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_determinism_property(seed):
+    simcfg = SimulationConfig(
+        warmup_cycles=0, measure_cycles=400, trace_length=2500, seed=seed
+    )
+
+    def one():
+        programs = build_programs(get_workload("2-MEM"), simcfg)
+        sim = Simulator(baseline(), programs, make_policy("flush"), simcfg)
+        sim.run_cycles(400)
+        return (
+            list(sim.stats.committed),
+            list(sim.stats.fetched),
+            list(sim.stats.squashed_flush),
+        )
+
+    assert one() == one()

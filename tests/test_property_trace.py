@@ -1,0 +1,69 @@
+"""Property-based tests for the trace substrate across benchmarks and seeds."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.isa.opcodes import BranchKind, OpClass
+from repro.isa.registers import REG_NONE
+from repro.trace import PROFILES, generate_trace, get_profile
+
+BENCH = st.sampled_from(sorted(PROFILES))
+SEED = st.integers(min_value=0, max_value=2**20)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(bench=BENCH, seed=SEED, tid=st.integers(min_value=0, max_value=7))
+def test_successor_consistency_property(bench, seed, tid):
+    """trace[i+1] is always the architectural successor of trace[i]."""
+    trace = generate_trace(get_profile(bench), 1500, base=tid << 30, seed=seed)
+    for i in range(len(trace) - 1):
+        if trace.op[i] == OpClass.BRANCH:
+            expected = trace.target[i] if trace.taken[i] else trace.pc[i] + 4
+        else:
+            expected = trace.pc[i] + 4
+        assert trace.pc[i + 1] == expected
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(bench=BENCH, seed=SEED)
+def test_record_wellformedness_property(bench, seed):
+    """Every record satisfies the structural contract the simulator assumes."""
+    trace = generate_trace(get_profile(bench), 1200, base=1 << 30, seed=seed)
+    for i in range(len(trace)):
+        op = trace.op[i]
+        if op in (OpClass.LOAD, OpClass.STORE):
+            assert trace.addr[i] >> 30 == 1  # inside the thread's slice
+        if op == OpClass.STORE:
+            assert trace.dest[i] == REG_NONE
+        if op == OpClass.LOAD:
+            assert 0 <= trace.dest[i] < 28
+        if op == OpClass.FP:
+            assert trace.dest[i] >= 32
+        if op != OpClass.BRANCH:
+            assert trace.brkind[i] == BranchKind.NONE
+        else:
+            assert trace.brkind[i] != BranchKind.NONE
+            if trace.taken[i]:
+                assert trace.target[i] > 0
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(bench=BENCH, seed=SEED)
+def test_wrap_patch_property(bench, seed):
+    trace = generate_trace(get_profile(bench), 900, base=2 << 30, seed=seed)
+    last = len(trace) - 1
+    assert trace.brkind[last] == BranchKind.JUMP
+    assert trace.target[last] == trace.pc[0]
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(bench=BENCH, seed=SEED)
+def test_generation_deterministic_property(bench, seed):
+    from repro.trace import clear_trace_cache
+
+    a = generate_trace(get_profile(bench), 600, base=0, seed=seed)
+    sig_a = (tuple(a.pc[:100]), tuple(a.addr[:100]))
+    clear_trace_cache()
+    b = generate_trace(get_profile(bench), 600, base=0, seed=seed)
+    assert sig_a == (tuple(b.pc[:100]), tuple(b.addr[:100]))

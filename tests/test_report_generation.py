@@ -1,0 +1,25 @@
+"""End-to-end report generation at micro scale (slow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import ExperimentRunner
+from repro.experiments.report import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS, generate_report
+
+MICRO = SimulationConfig(warmup_cycles=100, measure_cycles=600, trace_length=3000, seed=55)
+
+
+@pytest.mark.slow
+def test_generate_report_writes_all_sections(tmp_path):
+    runner = ExperimentRunner("baseline", MICRO, cache_dir=tmp_path / "cache")
+    out = generate_report(tmp_path / "EXP.md", runner, verbose=False)
+    text = out.read_text()
+    assert "Reproduction checks:" in text
+    for module, _ in ALL_EXPERIMENTS + EXTENSION_EXPERIMENTS:
+        # every experiment contributed a section
+        assert f"### " in text
+    for title_fragment in ("Table 2(a)", "Figure 1", "Figure 2", "Figure 3",
+                           "Table 4", "Figure 4", "Figure 5", "seed robustness"):
+        assert title_fragment in text, title_fragment

@@ -1,0 +1,105 @@
+"""Tests for the timeline sampler and multi-seed aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig, baseline
+from repro.core import Simulator, make_policy
+from repro.experiments.runner import ExperimentRunner, MultiSeedResult
+from repro.metrics import TimelineSampler, sparkline
+from repro.workloads import build_programs, get_workload
+
+CFG = SimulationConfig(warmup_cycles=0, measure_cycles=2000, trace_length=8000, seed=4)
+
+
+def make_sim(workload="2-MEM", policy="icount"):
+    programs = build_programs(get_workload(workload), CFG)
+    return Simulator(baseline(), programs, make_policy(policy), CFG)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        s = sparkline([1.0] * 10)
+        assert len(s) == 10
+        assert len(set(s)) == 1
+
+    def test_min_max_mapping(self):
+        s = sparkline([0.0, 1.0])
+        assert s[0] == " " and s[-1] == "@"
+
+    def test_downsampling(self):
+        s = sparkline(list(map(float, range(300))), width=50)
+        assert len(s) == 50
+
+
+class TestTimelineSampler:
+    def test_shapes(self):
+        sim = make_sim()
+        tl = TimelineSampler(interval=100).run(sim, cycles=1000)
+        assert tl.num_samples == 10
+        assert tl.num_threads == 2
+        assert len(tl.throughput) == 10
+        assert len(tl.ipc[0]) == 10
+        assert tl.cycles[-1] == 1000
+
+    def test_partial_last_chunk(self):
+        sim = make_sim()
+        tl = TimelineSampler(interval=300).run(sim, cycles=1000)
+        assert tl.num_samples == 4  # 300+300+300+100
+        assert tl.cycles[-1] == 1000
+
+    def test_ipc_consistent_with_stats(self):
+        sim = make_sim()
+        tl = TimelineSampler(interval=200).run(sim, cycles=2000)
+        total = sum(sum(tl.ipc[t][i] * 200 for i in range(10)) for t in range(2))
+        assert total == pytest.approx(sum(sim.stats.committed), abs=1)
+
+    def test_mem_thread_registers_dmiss_activity(self):
+        sim = make_sim("2-MEM", "icount")
+        tl = TimelineSampler(interval=100).run(sim, cycles=2000)
+        assert max(tl.dmiss[0]) > 0  # mcf holds in-flight misses
+
+    def test_render(self):
+        sim = make_sim()
+        tl = TimelineSampler(interval=100).run(sim, cycles=500)
+        text = tl.render(("ipc", "throughput"))
+        assert "ipc" in text and "throughput" in text
+        assert "|" in text
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            TimelineSampler(interval=0)
+
+
+class TestMultiSeed:
+    def test_aggregation(self, tmp_path):
+        runner = ExperimentRunner("baseline", CFG, cache_dir=tmp_path)
+        multi = runner.run_multi("2-ILP", "dwarn", seeds=[1, 2, 3])
+        assert len(multi) == 3
+        assert len(multi.throughputs) == 3
+        assert multi.mean_throughput == pytest.approx(
+            sum(multi.throughputs) / 3
+        )
+        assert multi.throughput_stdev >= 0
+        assert len(multi.mean_ipc()) == 2
+
+    def test_seeds_cached_individually(self, tmp_path):
+        runner = ExperimentRunner("baseline", CFG, cache_dir=tmp_path)
+        runner.run_multi("2-ILP", "icount", seeds=[5, 6])
+        n = runner.simulations_run
+        runner.run_multi("2-ILP", "icount", seeds=[5, 6])
+        assert runner.simulations_run == n  # disk-cache hits
+
+    def test_single_seed_stdev_zero(self, tmp_path):
+        runner = ExperimentRunner("baseline", CFG, cache_dir=tmp_path)
+        multi = runner.run_multi("2-ILP", "icount", seeds=[9])
+        assert multi.throughput_stdev == 0.0
+
+    def test_seeds_actually_vary(self, tmp_path):
+        runner = ExperimentRunner("baseline", CFG, cache_dir=tmp_path)
+        multi = runner.run_multi("2-MIX", "icount", seeds=[1, 2, 3])
+        assert len(set(multi.throughputs)) > 1

@@ -1,0 +1,286 @@
+"""Tests for the synthetic trace substrate: profiles, codegen, walk, addresses."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.opcodes import BranchKind, OpClass
+from repro.isa.registers import REG_NONE
+from repro.trace import (
+    ILP_BENCHMARKS,
+    MEM_BENCHMARKS,
+    PROFILES,
+    AddressSpace,
+    WrongPathSupplier,
+    generate_trace,
+    get_profile,
+)
+from repro.trace.address_space import (
+    CODE_OFFSET,
+    COLD_OFFSET,
+    L1_SETS,
+    LINE_BYTES,
+    WARM_OFFSET,
+    set_stagger,
+)
+from repro.trace.codegen import INSTR_BYTES, CodeLayout
+
+
+class TestProfiles:
+    def test_all_twelve_specint_benchmarks_present(self):
+        expected = {
+            "gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+            "eon", "perlbmk", "gap", "vortex", "bzip2", "twolf",
+        }
+        assert set(PROFILES) == expected
+
+    def test_mem_ilp_split_matches_table_2a(self):
+        # Paper: MEM = L2 load miss rate above ~1% (parser is grouped MEM).
+        assert set(MEM_BENCHMARKS) == {"mcf", "twolf", "vpr", "parser"}
+        assert len(ILP_BENCHMARKS) == 8
+
+    def test_table_2a_values(self):
+        mcf = get_profile("mcf")
+        assert mcf.l1_missrate == pytest.approx(0.323)
+        assert mcf.l2_missrate == pytest.approx(0.296)
+        assert mcf.l1_to_l2_ratio == pytest.approx(0.916, abs=0.01)
+        gzip = get_profile("gzip")
+        assert gzip.l1_to_l2_ratio == pytest.approx(0.02, abs=0.002)
+
+    def test_tier_probabilities_sum(self):
+        for p in PROFILES.values():
+            assert p.p_cold + p.p_warm == pytest.approx(p.l1_missrate)
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="mcf"):
+            get_profile("nonesuch")
+
+    def test_invalid_profile_rejected(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(get_profile("mcf"), l2_missrate=0.5)  # > l1
+
+    def test_mix_fractions_below_one(self):
+        for p in PROFILES.values():
+            assert p.load_frac + p.store_frac + p.branch_frac + p.fp_frac < 1.0
+
+
+class TestCodeLayout:
+    def test_blocks_laid_out_contiguously(self):
+        lay = CodeLayout(get_profile("gzip"), 0x1000, seed=1)
+        pc = 0x1000
+        for blk in lay.blocks:
+            assert blk.pc == pc
+            pc += blk.num_instrs * INSTR_BYTES
+        assert lay.footprint_bytes == pc - 0x1000
+
+    def test_block_count_from_profile(self):
+        p = get_profile("gcc")
+        lay = CodeLayout(p, 0, seed=2)
+        assert len(lay) == p.n_blocks
+
+    def test_deterministic(self):
+        a = CodeLayout(get_profile("mcf"), 0, seed=7)
+        b = CodeLayout(get_profile("mcf"), 0, seed=7)
+        assert [(x.pc, x.brkind, x.taken_index) for x in a.blocks] == [
+            (x.pc, x.brkind, x.taken_index) for x in b.blocks
+        ]
+
+    def test_seeds_differ(self):
+        a = CodeLayout(get_profile("mcf"), 0, seed=7)
+        b = CodeLayout(get_profile("mcf"), 0, seed=8)
+        assert [x.brkind for x in a.blocks] != [x.brkind for x in b.blocks]
+
+    def test_cond_targets_are_backward_jumps(self):
+        lay = CodeLayout(get_profile("gzip"), 0, seed=3)
+        n = len(lay)
+        for blk in lay.blocks:
+            if blk.brkind == BranchKind.COND:
+                delta = (blk.index - blk.taken_index) % n
+                assert 1 <= delta <= 8
+
+    def test_gcc_has_largest_footprint(self):
+        foot = {
+            name: CodeLayout(get_profile(name), 0, seed=1).footprint_bytes
+            for name in ("gcc", "gzip", "mcf")
+        }
+        assert foot["gcc"] > foot["gzip"]
+        assert foot["gcc"] > foot["mcf"]
+
+
+class TestSyntheticTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        # Non-zero base: thread 0's first hot line would legitimately be
+        # address 0, which would collide with the "no address" sentinel.
+        return generate_trace(get_profile("twolf"), 8000, 1 << 30, seed=99)
+
+    def test_length(self, trace):
+        assert len(trace) == 8000
+
+    def test_successor_consistency(self, trace):
+        """Index i+1 is the architectural successor of index i — THE trace
+        invariant the fetch unit and squash recovery rely on."""
+        for i in range(len(trace) - 1):
+            if trace.op[i] == OpClass.BRANCH:
+                expected = trace.target[i] if trace.taken[i] else trace.pc[i] + 4
+            else:
+                expected = trace.pc[i] + 4
+            assert trace.pc[i + 1] == expected, f"broken successor at {i}"
+
+    def test_wrap_patch(self, trace):
+        last = len(trace) - 1
+        assert trace.op[last] == OpClass.BRANCH
+        assert trace.brkind[last] == BranchKind.JUMP
+        assert trace.taken[last]
+        assert trace.target[last] == trace.pc[0]
+
+    def test_non_branches_have_no_branch_fields(self, trace):
+        for i in range(0, len(trace) - 1, 7):
+            if trace.op[i] != OpClass.BRANCH:
+                assert trace.brkind[i] == BranchKind.NONE
+                assert not trace.taken[i]
+
+    def test_memory_ops_have_addresses(self, trace):
+        for i in range(len(trace)):
+            if trace.op[i] in (OpClass.LOAD, OpClass.STORE):
+                assert trace.addr[i] > 0
+            elif trace.op[i] != OpClass.BRANCH:
+                assert trace.addr[i] == 0
+
+    def test_stores_have_no_dest(self, trace):
+        for i in range(len(trace)):
+            if trace.op[i] == OpClass.STORE:
+                assert trace.dest[i] == REG_NONE
+
+    def test_fp_ops_use_fp_dest(self):
+        tr = generate_trace(get_profile("eon"), 8000, 0, seed=5)
+        for i in range(len(tr)):
+            if tr.op[i] == OpClass.FP:
+                assert tr.dest[i] >= 32
+
+    def test_mix_within_tolerance(self, trace):
+        counts = trace.op_counts()
+        p = trace.profile
+        n = len(trace)
+        assert counts.get(int(OpClass.LOAD), 0) / n == pytest.approx(p.load_frac, rel=0.15)
+        assert counts.get(int(OpClass.STORE), 0) / n == pytest.approx(p.store_frac, rel=0.2)
+        assert counts.get(int(OpClass.BRANCH), 0) / n == pytest.approx(p.branch_frac, rel=0.3)
+
+    def test_deterministic_and_cached(self):
+        a = generate_trace(get_profile("gzip"), 2000, 0, seed=1)
+        b = generate_trace(get_profile("gzip"), 2000, 0, seed=1)
+        assert a is b  # cache hit
+        c = generate_trace(get_profile("gzip"), 2000, 0, seed=2)
+        assert a.addr != c.addr
+
+    def test_instances_decorrelated(self):
+        a = generate_trace(get_profile("mcf"), 2000, 0, seed=1, instance=0)
+        b = generate_trace(get_profile("mcf"), 2000, 1 << 30, seed=1, instance=1)
+        assert a.pc[:100] != b.pc[:100]
+
+    def test_record_accessor(self, trace):
+        rec = trace.record(0)
+        assert rec == (
+            trace.pc[0], trace.op[0], trace.dest[0], trace.src1[0],
+            trace.src2[0], trace.addr[0], trace.brkind[0], trace.taken[0],
+            trace.target[0],
+        )
+
+    def test_pcs_inside_code_region(self, trace):
+        lo = trace.layout.code_base
+        hi = lo + trace.layout.footprint_bytes
+        assert all(lo <= pc < hi for pc in trace.pc)
+
+
+class TestAddressSpace:
+    def test_tier_probabilities(self):
+        a = AddressSpace(get_profile("mcf"), 0, seed=1)
+        hot, warm, cold = a.tier_probabilities
+        assert cold == pytest.approx(0.296)
+        assert warm == pytest.approx(0.323 - 0.296)
+        assert hot + warm + cold == pytest.approx(1.0)
+
+    def test_warm_geometry_bounds(self):
+        for name in PROFILES:
+            a = AddressSpace(get_profile(name), 0, seed=1)
+            assert 3 <= a.warm_tags <= 16      # beat L1 assoc, fit L2 assoc
+            assert a.warm_groups in (8, 16)
+
+    def test_warm_addresses_collide_in_l1_sets(self):
+        a = AddressSpace(get_profile("mcf"), 0, seed=1)
+        lines = [(addr - WARM_OFFSET) // LINE_BYTES for addr in
+                 (a._warm_address() for _ in range(a.warm_groups * a.warm_tags))]
+        sets = {ln % L1_SETS for ln in lines}
+        assert len(sets) == a.warm_groups  # K tags share each of G sets
+
+    def test_cold_addresses_never_repeat_lines_quickly(self):
+        a = AddressSpace(get_profile("mcf"), 0, seed=1)
+        lines = set()
+        for _ in range(2000):
+            addr = a.base + COLD_OFFSET  # force cold via internals
+        # use the public API instead: draw loads and keep cold ones
+        a2 = AddressSpace(get_profile("mcf"), 0, seed=2)
+        cold = []
+        for _ in range(5000):
+            addr = a2.load_address()
+            off = addr & ((1 << 30) - 1)
+            if COLD_OFFSET <= off < (512 << 20):
+                cold.append(addr // LINE_BYTES)
+        assert len(cold) == len(set(cold))  # every cold access a fresh line
+
+    def test_stagger_distinct_per_thread(self):
+        staggers = {set_stagger(t << 30) for t in range(8)}
+        assert len(staggers) == 8
+
+    def test_prewarm_line_lists(self):
+        a = AddressSpace(get_profile("gzip"), 1 << 30, seed=1)
+        l1 = a.l1_resident_lines()
+        l2 = a.l2_resident_lines()
+        assert len(l1) == a.profile.hot_lines + max(16, a.profile.hot_lines // 2)
+        assert len(l2) == a.warm_groups * a.warm_tags
+        assert all(addr >> 30 == 1 for addr in l1 + l2)  # inside thread slice
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=7))
+    def test_property_addresses_stay_in_thread_slice(self, tid):
+        a = AddressSpace(get_profile("twolf"), tid << 30, seed=3)
+        for _ in range(300):
+            assert a.load_address() >> 30 == tid
+            assert a.store_address() >> 30 == tid
+
+
+class TestWrongPathSupplier:
+    def test_deterministic(self):
+        wp = WrongPathSupplier(get_profile("gzip"), 0, seed=4)
+        assert wp.supply(0x1000) == wp.supply(0x1000)
+
+    def test_distinct_pcs_differ(self):
+        wp = WrongPathSupplier(get_profile("gzip"), 0, seed=4)
+        recs = {wp.supply(0x1000 + 4 * i) for i in range(64)}
+        assert len(recs) > 32
+
+    def test_branches_are_never_taken_conds(self):
+        wp = WrongPathSupplier(get_profile("gcc"), 0, seed=4)
+        for i in range(500):
+            rec = wp.supply(0x2000 + 4 * i)
+            if rec[0] == OpClass.BRANCH:
+                assert rec[5] == BranchKind.COND
+                assert rec[6] is False
+
+    def test_loads_have_addresses_in_thread_slice(self):
+        wp = WrongPathSupplier(get_profile("mcf"), 2 << 30, seed=4)
+        for i in range(500):
+            rec = wp.supply(0x3000 + 4 * i)
+            if rec[0] in (OpClass.LOAD, OpClass.STORE):
+                assert rec[4] >> 30 == 2
+
+    def test_mix_roughly_matches_profile(self):
+        p = get_profile("twolf")
+        wp = WrongPathSupplier(p, 0, seed=4)
+        from collections import Counter
+
+        c = Counter(wp.supply(4 * i)[0] for i in range(4000))
+        assert c[int(OpClass.LOAD)] / 4000 == pytest.approx(p.load_frac, rel=0.3)

@@ -1,0 +1,75 @@
+"""Tests for the event wheel."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.utils.events import EventWheel
+
+
+class TestEventWheel:
+    def test_schedule_and_drain(self):
+        w = EventWheel()
+        w.schedule(5, "a")
+        w.schedule(5, "b")
+        w.schedule(7, "c")
+        assert w.drain(5) == ["a", "b"]
+        assert w.drain(5) == []
+        assert w.drain(6) == []
+        assert w.drain(7) == ["c"]
+
+    def test_drain_preserves_scheduling_order(self):
+        w = EventWheel()
+        for i in range(10):
+            w.schedule(3, i)
+        assert w.drain(3) == list(range(10))
+
+    def test_len_tracks_pending(self):
+        w = EventWheel()
+        assert len(w) == 0
+        assert not w
+        w.schedule(1, "x")
+        w.schedule(2, "y")
+        assert len(w) == 2
+        assert w
+        w.drain(1)
+        assert len(w) == 1
+        w.drain(2)
+        assert len(w) == 0
+
+    def test_next_cycle(self):
+        w = EventWheel()
+        assert w.next_cycle() is None
+        w.schedule(9, "a")
+        w.schedule(4, "b")
+        assert w.next_cycle() == 4
+
+    def test_iter_all_sorted(self):
+        w = EventWheel()
+        w.schedule(3, "c")
+        w.schedule(1, "a")
+        w.schedule(2, "b")
+        assert [c for c, _ in w.iter_all()] == [1, 2, 3]
+
+    def test_clear(self):
+        w = EventWheel()
+        w.schedule(1, "a")
+        w.clear()
+        assert len(w) == 0
+        assert w.drain(1) == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=50), st.integers()),
+            max_size=60,
+        )
+    )
+    def test_property_everything_scheduled_is_drained_once(self, events):
+        w = EventWheel()
+        for cycle, payload in events:
+            w.schedule(cycle, payload)
+        drained = []
+        for cycle in range(51):
+            drained.extend(w.drain(cycle))
+        assert sorted(map(repr, drained)) == sorted(repr(p) for _, p in events)
+        assert len(w) == 0

@@ -1,0 +1,77 @@
+"""Tests for metric math helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.mathx import geometric_mean, harmonic_mean, pct_improvement, safe_div
+
+
+class TestHarmonicMean:
+    def test_identical_values(self):
+        assert harmonic_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        # Hmean(1, 1/3) = 2 / (1 + 3) = 0.5
+        assert harmonic_mean([1.0, 1 / 3]) == pytest.approx(0.5)
+
+    def test_zero_dominates(self):
+        # The fairness property the paper relies on: starving one thread
+        # drives the metric to zero.
+        assert harmonic_mean([5.0, 0.0]) == 0.0
+
+    def test_empty(self):
+        assert harmonic_mean([]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=8))
+    def test_property_below_arithmetic_mean(self, vals):
+        hm = harmonic_mean(vals)
+        am = sum(vals) / len(vals)
+        assert hm <= am + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=8))
+    def test_property_between_min_and_max(self, vals):
+        hm = harmonic_mean(vals)
+        assert min(vals) - 1e-9 <= hm <= max(vals) + 1e-9
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_zero(self):
+        assert geometric_mean([1.0, 0.0]) == 0.0
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=8))
+    def test_property_ordering(self, vals):
+        # HM <= GM <= AM
+        hm = harmonic_mean(vals)
+        gm = geometric_mean(vals)
+        am = sum(vals) / len(vals)
+        assert hm - 1e-9 <= gm <= am + 1e-9
+
+
+class TestSafeDiv:
+    def test_normal(self):
+        assert safe_div(6, 3) == 2.0
+
+    def test_zero_denominator(self):
+        assert safe_div(6, 0) == 0.0
+        assert safe_div(6, 0, default=math.inf) == math.inf
+
+
+class TestPctImprovement:
+    def test_improvement(self):
+        assert pct_improvement(1.2, 1.0) == pytest.approx(20.0)
+
+    def test_slowdown(self):
+        assert pct_improvement(0.9, 1.0) == pytest.approx(-10.0)
+
+    def test_zero_base(self):
+        assert pct_improvement(1.0, 0.0) == 0.0
