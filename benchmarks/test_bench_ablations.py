@@ -8,7 +8,6 @@ rather than waiting for the L2 declaration).
 
 from __future__ import annotations
 
-import dataclasses
 
 from conftest import bench_simcfg, report
 

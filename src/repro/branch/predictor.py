@@ -8,7 +8,7 @@ fetch unit (history register, RAS TOS).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.branch.btb import BTB
 from repro.branch.gshare import GShare
@@ -19,8 +19,7 @@ from repro.isa.opcodes import BranchKind
 __all__ = ["FrontEndPredictor", "Prediction"]
 
 
-@dataclass
-class Prediction:
+class Prediction(NamedTuple):
     """Outcome of predicting one fetched branch.
 
     ``taken``/``target`` drive the next fetch PC. ``btb_miss`` is True when
@@ -28,6 +27,10 @@ class Prediction:
     then inserts a misfetch bubble and continues on the *computed* target next
     cycle (decode-stage target computation), which is a fetch-bandwidth loss
     but not a full misprediction.
+
+    A NamedTuple (not a dataclass): one ``Prediction`` is allocated per
+    fetched branch, and tuple construction happens in C with no
+    ``__init__`` frame.
     """
 
     taken: bool
@@ -91,7 +94,9 @@ class FrontEndPredictor:
         if taken:
             self.btb.update(pc, target)
 
-    def squash_recover(self, tid: int, hist: int, ras_tos: int, resolved_taken: bool | None) -> None:
+    def squash_recover(
+        self, tid: int, hist: int, ras_tos: int, resolved_taken: bool | None
+    ) -> None:
         """Restore per-context speculative state after a squash.
 
         ``resolved_taken`` re-inserts the *correct* outcome of the resolving

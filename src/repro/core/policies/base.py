@@ -35,6 +35,14 @@ class FetchPolicy:
     wants_load_exec = False    # on_load_executed at execute of every load
     wants_squash = False       # on_squash_instr for every squashed instr
 
+    #: True when ``fetch_order()`` is a pure function of simulator state that
+    #: only changes at the mutation points raising ``Simulator.order_dirty``
+    #: (icount/dmiss/brcount/policy counters, gate transitions, pipe/ROB
+    #: occupancy). The simulator then reuses the last order across quiesced
+    #: cycles instead of re-sorting. Policies whose order depends on anything
+    #: else — e.g. round-robin's cycle number — must leave this False.
+    cacheable_order = False
+
     def __init__(self) -> None:
         self.sim: "Simulator | None" = None
 
@@ -69,9 +77,19 @@ class FetchPolicy:
 
     def icount_order(self, tids) -> list[int]:
         """Sort thread ids by ICOUNT (fewest in-flight pre-issue instructions
-        first) — the ordering primitive every policy builds on (§2)."""
+        first) — the ordering primitive every policy builds on (§2).
+
+        Implemented as a single int-keyed sort: ``(icount << 16) | tid``
+        orders exactly like ``(icount, tid)`` (icount is bounded by
+        pipe + ROB capacity << 2**16) while keeping the comparison at C
+        speed with no per-element tuple allocation.
+        """
         threads = self.sim.threads
-        return sorted(tids, key=lambda t: (threads[t].icount, t))
+        # List comprehension, not a generator: feeding sorted() a genexpr
+        # costs a frame resumption per element in CPython.
+        keyed = [(threads[t].icount << 16) | t for t in tids]
+        keyed.sort()
+        return [k & 0xFFFF for k in keyed]
 
     # -- event hooks (no-ops by default) ---------------------------------------
 
@@ -153,10 +171,12 @@ class GatingMixin:
         if ungate_at <= sim.cycle:
             return False
         self._gate_count[tid] += 1
+        sim.order_dirty = True  # gate transitions change the fetch order
         gc = self._gate_count
 
         def _ungate() -> None:
             gc[tid] -= 1
+            sim.order_dirty = True
 
         sim.schedule_call(ungate_at, _ungate)
         sim.stats.gated_cycles[tid] += ungate_at - sim.cycle

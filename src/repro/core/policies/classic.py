@@ -17,7 +17,6 @@ re-verify that premise on this simulator (see
 from __future__ import annotations
 
 from repro.core.policies.base import FetchPolicy
-from repro.isa.instruction import DynInstr
 from repro.isa.opcodes import OpClass
 
 __all__ = ["RoundRobinPolicy", "BRCountPolicy", "MissCountPolicy"]
@@ -43,21 +42,25 @@ class BRCountPolicy(FetchPolicy):
     """
 
     name = "brcount"
-
-    def setup(self) -> None:
-        self._branches = [0] * self.sim.num_threads
+    cacheable_order = True  # function of brcount and icount only
 
     def fetch_order(self) -> list[int]:
+        # ``ThreadContext.brcount`` is maintained incrementally by the
+        # simulator (+1 at branch fetch, -1 at completion/squash), so the
+        # per-cycle pipe+ROB rescan the original implementation did is gone;
+        # ``_count_unresolved`` below stays as the drift oracle the
+        # validation tests compare against.
         threads = self.sim.threads
-        counts = self._count_unresolved()
-        return sorted(
-            range(self.sim.num_threads),
-            key=lambda t: (counts[t], threads[t].icount, t),
-        )
+        keyed = [
+            (threads[t].brcount << 32) | (threads[t].icount << 16) | t
+            for t in range(self.sim.num_threads)
+        ]
+        keyed.sort()
+        return [k & 0xFFFF for k in keyed]
 
     def _count_unresolved(self) -> list[int]:
         # Derived on demand from pipeline state: branches fetched but not
-        # completed. Cheap at <=8 threads and immune to counter drift.
+        # completed. The reference recount for the incremental counter.
         counts = [0] * self.sim.num_threads
         for i in self.sim.pipe:
             if i.op == OpClass.BRANCH and not i.squashed:
@@ -78,10 +81,13 @@ class MissCountPolicy(FetchPolicy):
     """
 
     name = "misscount"
+    cacheable_order = True  # function of dmiss and icount only
 
     def fetch_order(self) -> list[int]:
         threads = self.sim.threads
-        return sorted(
-            range(self.sim.num_threads),
-            key=lambda t: (threads[t].dmiss, threads[t].icount, t),
-        )
+        keyed = [
+            (threads[t].dmiss << 32) | (threads[t].icount << 16) | t
+            for t in range(self.sim.num_threads)
+        ]
+        keyed.sort()
+        return [k & 0xFFFF for k in keyed]

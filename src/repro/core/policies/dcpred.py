@@ -27,6 +27,7 @@ __all__ = ["DCPredPolicy"]
 
 class DCPredPolicy(FetchPolicy):
     name = "dcpred"
+    cacheable_order = True  # function of flagged-load counts and occupancy
     wants_load_fetch = True
     wants_load_exec = True
     wants_squash = True

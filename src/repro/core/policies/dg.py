@@ -20,6 +20,7 @@ __all__ = ["DataGatingPolicy"]
 
 class DataGatingPolicy(FetchPolicy):
     name = "dg"
+    cacheable_order = True  # function of dmiss and icount only
 
     def __init__(self, threshold: int = 1) -> None:
         super().__init__()

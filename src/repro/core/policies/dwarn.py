@@ -46,6 +46,7 @@ class DWarnPolicy(GatingMixin, FetchPolicy):
     prioritization-only variant — the ablation of §5.2's motivation)."""
 
     name = "dwarn"
+    cacheable_order = True  # function of dmiss/icount/gate state only
 
     def __init__(
         self,
@@ -76,22 +77,27 @@ class DWarnPolicy(GatingMixin, FetchPolicy):
         )
 
     def fetch_order(self) -> list[int]:
-        threads = self.sim.threads
-        n = self.sim.num_threads
+        sim = self.sim
+        threads = sim.threads
+        n = sim.num_threads
         if self._hybrid_active:
             gc = self._gate_count
             tids = [t for t in range(n) if gc[t] == 0]
         else:
             tids = range(n)
         thr = self.dmiss_threshold
-        normal = []
-        dmiss = []
-        for t in tids:
-            if threads[t].dmiss < thr:
-                normal.append(t)
-            else:
-                dmiss.append(t)
-        return self.icount_order(normal) + self.icount_order(dmiss)
+        # One int-keyed sort realizes the two-group classification: the
+        # group bit sits above any possible ICOUNT value, so the Normal
+        # group (bit clear) sorts wholly before the Dmiss group, and within
+        # each group ordering is exactly ``(icount, tid)``.
+        keyed = [
+            ((1 << 40) if threads[t].dmiss >= thr else 0)
+            | (threads[t].icount << 16)
+            | t
+            for t in tids
+        ]
+        keyed.sort()
+        return [k & 0xFFFF for k in keyed]
 
     def on_l2_miss(self, i: DynInstr) -> None:
         """Hybrid RA: gate when the load *really* misses in L2.

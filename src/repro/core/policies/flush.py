@@ -18,6 +18,7 @@ __all__ = ["FlushPolicy"]
 
 class FlushPolicy(GatingMixin, FetchPolicy):
     name = "flush"
+    cacheable_order = True  # function of gate state and icount only
 
     def setup(self) -> None:
         self.setup_gating()

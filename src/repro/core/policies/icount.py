@@ -18,6 +18,7 @@ class ICountPolicy(FetchPolicy):
     """Pure ICOUNT x.y ordering (x/y come from the processor config)."""
 
     name = "icount"
+    cacheable_order = True  # pure function of per-thread icount
 
     def fetch_order(self) -> list[int]:
         return self.icount_order(range(self.sim.num_threads))

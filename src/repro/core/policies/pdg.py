@@ -33,6 +33,7 @@ __all__ = ["PredictiveDataGatingPolicy"]
 
 class PredictiveDataGatingPolicy(FetchPolicy):
     name = "pdg"
+    cacheable_order = True  # function of the per-thread predicted-miss count
     wants_load_fetch = True
     wants_load_exec = True
     wants_squash = True

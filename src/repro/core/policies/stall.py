@@ -18,6 +18,7 @@ __all__ = ["StallPolicy"]
 
 class StallPolicy(GatingMixin, FetchPolicy):
     name = "stall"
+    cacheable_order = True  # function of gate state and icount only
 
     def setup(self) -> None:
         self.setup_gating()

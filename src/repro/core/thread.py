@@ -37,6 +37,9 @@ class ThreadContext:
         # counters
         "icount",          # instructions in pre-issue stages (ICOUNT policy)
         "dmiss",           # in-flight L1 data misses (DWarn's counter, §3)
+        "brcount",         # unresolved (fetched, not completed) branches —
+                           # maintained incrementally by the simulator so
+                           # BRCOUNT never rescans the pipe/ROB per cycle
         "seq_next",        # per-thread program-order sequence numbers
         "fetched",
         "committed",
@@ -55,6 +58,7 @@ class ThreadContext:
         self.renmap: list = [None] * NUM_ARCH_REGS
         self.icount = 0
         self.dmiss = 0
+        self.brcount = 0
         self.seq_next = 0
         self.fetched = 0
         self.committed = 0

@@ -30,7 +30,9 @@ def throughput_matrix(runner: ExperimentRunner) -> dict[str, dict[str, float]]:
     return out
 
 
-def improvement_rows(matrix: dict[str, dict[str, float]]) -> tuple[list[list[object]], dict[str, dict[str, float]]]:
+def improvement_rows(
+    matrix: dict[str, dict[str, float]],
+) -> tuple[list[list[object]], dict[str, dict[str, float]]]:
     """Figure 1(b)-style rows plus per-class average improvements."""
     rows: list[list[object]] = []
     class_avgs: dict[str, dict[str, float]] = {}

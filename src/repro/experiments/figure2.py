@@ -50,7 +50,10 @@ def run(runner: ExperimentRunner) -> ExperimentResult:
 
     return ExperimentResult(
         name=NAME,
-        title=f"Figure 2 — flushed instructions w.r.t. fetched, FLUSH policy ({runner.machine.name})",
+        title=(
+            "Figure 2 — flushed instructions w.r.t. fetched, "
+            f"FLUSH policy ({runner.machine.name})"
+        ),
         headers=headers,
         rows=rows,
         notes=[

@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from repro.config import MachineConfig, SimulationConfig, get_preset
 from repro.core import Simulator, SimResult, make_policy
@@ -241,10 +241,24 @@ class ExperimentRunner:
 
     # -- disk cache -----------------------------------------------------
 
+    def _disk_path(self, key: str) -> Path:
+        """On-disk location for ``key``.
+
+        The filename folds in both ``CACHE_VERSION`` and the installed
+        ``repro`` version *explicitly* — not only through the opaque key
+        hash — so a library upgrade (which can change results without any
+        config-visible difference) can never resolve to a stale file, and
+        stale entries are identifiable (and sweepable) by filename.
+        """
+        assert self.cache_dir is not None
+        import repro
+
+        return self.cache_dir / f"{key}-c{CACHE_VERSION}-r{repro.__version__}.json"
+
     def _load_disk(self, key: str) -> SimResult | None:
         if not self.cache_dir:
             return None
-        path = self.cache_dir / f"{key}.json"
+        path = self._disk_path(key)
         if not path.exists():
             return None
         try:
@@ -258,7 +272,7 @@ class ExperimentRunner:
     def _store_disk(self, key: str, res: SimResult) -> None:
         if not self.cache_dir:
             return
-        path = self.cache_dir / f"{key}.json"
+        path = self._disk_path(key)
         payload = dataclasses.asdict(res)
         payload["benchmarks"] = list(payload["benchmarks"])
         path.write_text(json.dumps(payload))

@@ -3,8 +3,10 @@
 A ``DynInstr`` is created once per *fetched* instruction — including wrong-path
 instructions and re-fetches after a FLUSH — and threads through every pipeline
 stage. It is the single hottest allocation in the simulator, hence
-``__slots__`` and plain attributes only (see the hpc-parallel optimization
-guide: avoid per-cycle dict churn in the hot loop).
+``__slots__`` and plain attributes only: slot reads stay off the instance-dict
+path, and the pipeline reads each field many more times than the constructor
+writes it (measured — a class-default/lazy-``__dict__`` variant lost the
+creation savings back on reads; see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -61,7 +63,7 @@ class DynInstr:
         "squashed",
         # dataflow
         "num_wait",     # unready source operands (set at dispatch)
-        "dependents",   # list[DynInstr] woken when this completes
+        "dependents",   # list[DynInstr] woken at complete; None until needed
         "prev_writer1", # rename-map entries shadowed by this instr's dest
         # global fetch-order stamp (issue-select age priority across threads)
         "gseq",
@@ -125,7 +127,9 @@ class DynInstr:
         self.pmeta = None
 
         self.num_wait = 0
-        self.dependents: list[DynInstr] = []
+        # Most instructions never acquire waiters; the list is allocated on
+        # first use at dispatch and dropped again at complete.
+        self.dependents: list[DynInstr] | None = None
         self.prev_writer1 = None
 
         self.l1_miss = False
@@ -135,6 +139,15 @@ class DynInstr:
         self.fill_cycle = -1
         self.declared = False
         self.flushed_after = False
+
+    def __lt__(self, other: "DynInstr") -> bool:
+        """Global fetch-order (age) comparison.
+
+        The issue-ready heaps hold ``(gseq, instr)`` tuples so ordering is
+        resolved on the int key at C speed; ``gseq`` is unique per simulation,
+        so this fallback never actually fires on the hot path.
+        """
+        return self.gseq < other.gseq
 
     # -- conveniences (not used on the hot path) ---------------------------
 

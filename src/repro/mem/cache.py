@@ -57,14 +57,13 @@ class Cache:
         """True if the line is present; updates LRU on hit. Counts stats."""
         self.accesses += 1
         s = self._sets[line_addr & self._set_mask]
-        tag = line_addr
-        n = len(s)
-        if n and s[n - 1] == tag:  # MRU fast path
+        if s and s[-1] == line_addr:  # MRU fast path
             return True
-        for i in range(n - 1):
-            if s[i] == tag:
-                s.append(s.pop(i))
-                return True
+        # Membership + position via C-level list scans: for the 2-8 way sets
+        # this model uses, ``in``/``index`` beat any interpreted loop.
+        if line_addr in s:
+            s.append(s.pop(s.index(line_addr)))
+            return True
         self.misses += 1
         return False
 

@@ -165,7 +165,9 @@ class MemoryHierarchy:
             del self._outstanding_d[line]
 
         if self.dcache.probe(line):
-            return LoadResult(cfg.dcache.latency, cycle + cfg.dcache.latency, False, False, tlb_miss, False)
+            return LoadResult(
+                cfg.dcache.latency, cycle + cfg.dcache.latency, False, False, tlb_miss, False
+            )
 
         if count_stats:
             self.store_l1_misses[tid] += 1
@@ -192,23 +194,33 @@ class MemoryHierarchy:
         Returns ``(hit, ready_cycle)``: on a miss the thread cannot fetch
         until ``ready_cycle``.
         """
+        ready = self.ifetch_ready(tid, pc, cycle)
+        return (ready <= cycle, cycle if ready <= cycle else ready)
+
+    def ifetch_ready(self, tid: int, pc: int, cycle: int) -> int:
+        """Hot-path variant of :meth:`ifetch_access`: the cycle fetch can
+        proceed for the line holding ``pc`` — equal to ``cycle`` on a hit,
+        later on a miss. Returning a bare int keeps the per-cycle fetch loop
+        free of tuple allocation (one call per offered thread per cycle)."""
         line = pc >> self.line_shift
-        ready = self._outstanding_i.get(line)
+        outstanding = self._outstanding_i
+        ready = outstanding.get(line)
         if ready is not None:
             if ready > cycle:
-                return False, ready
-            del self._outstanding_i[line]
+                return ready
+            del outstanding[line]
         if self.icache.probe(line):
-            return True, cycle
+            return cycle
         self.ifetch_misses[tid] += 1
-        latency = self.cfg.icache.latency + self.cfg.l2.latency
+        cfg = self.cfg
+        latency = cfg.icache.latency + cfg.l2.latency
         if not self.l2.probe(line):
-            latency += self.cfg.memory_latency
+            latency += cfg.memory_latency
             self.l2.fill(line)
         self.icache.fill(line)
         ready = cycle + latency
-        self._outstanding_i[line] = ready
-        return False, ready
+        outstanding[line] = ready
+        return ready
 
     # ------------------------------------------------------------------ stats
 

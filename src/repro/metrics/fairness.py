@@ -22,7 +22,9 @@ from repro.utils.mathx import harmonic_mean
 __all__ = ["relative_ipcs", "hmean_relative", "weighted_speedup", "FairnessReport"]
 
 
-def relative_ipcs(result: SimResult, alone_ipc: Mapping[str, float] | Sequence[float]) -> list[float]:
+def relative_ipcs(
+    result: SimResult, alone_ipc: Mapping[str, float] | Sequence[float]
+) -> list[float]:
     """Per-thread relative IPCs of a multithreaded run.
 
     ``alone_ipc`` is either a mapping benchmark-name -> single-thread IPC, or

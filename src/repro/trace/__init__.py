@@ -20,7 +20,13 @@ the closest synthetic equivalent (DESIGN.md §2):
   the analogue of SMTSIM's basic-block dictionary mentioned in §4.
 """
 
-from repro.trace.profiles import BenchmarkProfile, PROFILES, get_profile, MEM_BENCHMARKS, ILP_BENCHMARKS
+from repro.trace.profiles import (
+    BenchmarkProfile,
+    PROFILES,
+    get_profile,
+    MEM_BENCHMARKS,
+    ILP_BENCHMARKS,
+)
 from repro.trace.synthetic import SyntheticTrace, generate_trace, clear_trace_cache
 from repro.trace.wrongpath import WrongPathSupplier
 from repro.trace.address_space import AddressSpace

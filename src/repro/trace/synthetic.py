@@ -46,9 +46,12 @@ class SyntheticTrace:
         "brkind",
         "taken",
         "target",
+        "rec",
     )
 
-    def __init__(self, profile: BenchmarkProfile, length: int, base: int, seed: int, instance: int) -> None:
+    def __init__(
+        self, profile: BenchmarkProfile, length: int, base: int, seed: int, instance: int
+    ) -> None:
         self.profile = profile
         self.length = length
         self.base = base
@@ -72,6 +75,23 @@ class SyntheticTrace:
         self.aspace = AddressSpace(profile, base, addr_seed, expected_loads=expected_loads)
         self._walk(SplitMix64(walk_seed), self.aspace)
         self._patch_wrap()
+        # Packed per-index records in DynInstr argument order: the fetch loop
+        # does ONE list indexing per instruction instead of eight (this is
+        # the "preallocated array" the hot loop replays; the parallel lists
+        # stay for calibration/analysis code that scans one field).
+        self.rec: list[tuple] = list(
+            zip(
+                self.op,
+                self.pc,
+                self.dest,
+                self.src1,
+                self.src2,
+                self.addr,
+                self.brkind,
+                self.taken,
+                self.target,
+            )
+        )
 
     # ------------------------------------------------------------------
 

@@ -27,7 +27,17 @@ __all__ = ["WrongPathSupplier"]
 class WrongPathSupplier:
     """Stateless-per-instruction generator of wrong-path records."""
 
-    __slots__ = ("profile", "base", "seed", "_cum_load", "_cum_store", "_cum_fp", "_wp_lines", "_wp_line_base", "_memo")
+    __slots__ = (
+        "profile",
+        "base",
+        "seed",
+        "_cum_load",
+        "_cum_store",
+        "_cum_fp",
+        "_wp_lines",
+        "_wp_line_base",
+        "_memo",
+    )
 
     def __init__(self, profile: BenchmarkProfile, base: int, seed: int) -> None:
         self.profile = profile
@@ -87,12 +97,18 @@ class WrongPathSupplier:
             else:
                 line = self._wp_line_base + (h >> 8) % self._wp_lines
                 addr = self.base + WRONGPATH_OFFSET + line * LINE_BYTES
-            return (op, dest, src_bits % NUM_INT_ARCH_REGS, REG_NONE, addr, int(BranchKind.NONE), False, 0)
+            return (
+                op, dest, src_bits % NUM_INT_ARCH_REGS, REG_NONE, addr,
+                int(BranchKind.NONE), False, 0,
+            )
         if u < self._cum_store:
             op = int(OpClass.STORE)
             line = self._wp_line_base + (h >> 8) % self._wp_lines
             addr = self.base + WRONGPATH_OFFSET + line * LINE_BYTES
-            return (op, REG_NONE, src_bits % NUM_INT_ARCH_REGS, dest_bits % NUM_INT_ARCH_REGS, addr, int(BranchKind.NONE), False, 0)
+            return (
+                op, REG_NONE, src_bits % NUM_INT_ARCH_REGS,
+                dest_bits % NUM_INT_ARCH_REGS, addr, int(BranchKind.NONE), False, 0,
+            )
         if u < self._cum_fp:
             op = int(OpClass.FP)
             dest = NUM_INT_ARCH_REGS + dest_bits % 28
@@ -112,4 +128,7 @@ class WrongPathSupplier:
                 pc + INSTR_BYTES,
             )
         op = int(OpClass.INT)
-        return (op, dest_bits % 28, src_bits % NUM_INT_ARCH_REGS, (h >> 24) % NUM_INT_ARCH_REGS, 0, int(BranchKind.NONE), False, 0)
+        return (
+            op, dest_bits % 28, src_bits % NUM_INT_ARCH_REGS,
+            (h >> 24) % NUM_INT_ARCH_REGS, 0, int(BranchKind.NONE), False, 0,
+        )

@@ -9,7 +9,7 @@ scan-everything simulator loop.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from typing import Any, Iterator
 
 __all__ = ["EventWheel"]
 
@@ -22,48 +22,48 @@ class EventWheel:
     which keeps the simulation deterministic.
     """
 
-    __slots__ = ("_buckets", "_pending")
+    __slots__ = ("buckets", "pending")
 
     def __init__(self) -> None:
-        self._buckets: dict[int, list[Any]] = {}
-        self._pending = 0
+        self.buckets: dict[int, list[Any]] = {}
+        self.pending = 0
 
     def schedule(self, cycle: int, event: Any) -> None:
         """Schedule ``event`` to fire at ``cycle``."""
-        bucket = self._buckets.get(cycle)
+        bucket = self.buckets.get(cycle)
         if bucket is None:
-            self._buckets[cycle] = [event]
+            self.buckets[cycle] = [event]
         else:
             bucket.append(event)
-        self._pending += 1
+        self.pending += 1
 
     def drain(self, cycle: int) -> list[Any]:
         """Remove and return all events scheduled for ``cycle`` (may be [])."""
-        bucket = self._buckets.pop(cycle, None)
+        bucket = self.buckets.pop(cycle, None)
         if bucket is None:
             return []
-        self._pending -= len(bucket)
+        self.pending -= len(bucket)
         return bucket
 
     def __len__(self) -> int:
-        return self._pending
+        return self.pending
 
     def __bool__(self) -> bool:
-        return self._pending > 0
+        return self.pending > 0
 
     def next_cycle(self) -> int | None:
         """Earliest cycle holding an event, or None if empty. O(#buckets)."""
-        if not self._buckets:
+        if not self.buckets:
             return None
-        return min(self._buckets)
+        return min(self.buckets)
 
     def iter_all(self) -> Iterator[tuple[int, Any]]:
         """Iterate (cycle, event) pairs in cycle order (for debugging)."""
-        for cycle in sorted(self._buckets):
-            for event in self._buckets[cycle]:
+        for cycle in sorted(self.buckets):
+            for event in self.buckets[cycle]:
                 yield cycle, event
 
     def clear(self) -> None:
         """Drop every pending event."""
-        self._buckets.clear()
-        self._pending = 0
+        self.buckets.clear()
+        self.pending = 0

@@ -1,0 +1,253 @@
+"""Perf-regression guard: the CI entry point for speed and behavior drift.
+
+Runs a short deterministic workload sweep (fixed seed, fixed ``baseline``
+preset) and compares two things against a checked-in baseline file
+(``benchmarks/baselines.json``):
+
+1. **Result digests** — per-policy IPC, Hmean and exact committed-instruction
+   counts for each guarded (workload, policy) pair. These are pure functions
+   of simulator *behavior*: any mismatch means a semantic change, however
+   small, and fails the guard regardless of tolerance. An intentional change
+   must be accompanied by a baseline refresh (``--update``) in the same
+   commit, which makes behavior drift reviewable in the diff.
+
+2. **Simulation speed** — ``cycles_per_second`` on the 4-MIX/dwarn
+   microbench, *normalized* by a pure-Python calibration score measured on
+   the same host immediately before. Raw cycles/sec depends on the machine
+   CI happens to schedule; the normalized score (simulated cycles per
+   million calibration operations) mostly cancels host speed out, so one
+   checked-in number can guard many hosts. The comparison uses a relative
+   tolerance (default 20%, per-file override in the baseline).
+
+Usage::
+
+    python -m repro.utils.perfguard --baseline benchmarks/baselines.json
+    python -m repro.utils.perfguard --baseline benchmarks/baselines.json --update
+
+Exit status: 0 = within tolerance, 1 = regression or digest drift,
+2 = bad invocation (missing baseline without ``--update``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.config import SimulationConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.utils.profiling import cycles_per_second
+
+__all__ = [
+    "GUARDED_POLICIES",
+    "GUARDED_WORKLOADS",
+    "calibration_score",
+    "collect_digests",
+    "collect_speed",
+    "compare",
+    "main",
+]
+
+#: The six policies of the paper's main comparison (Table 4 / Figures 1-5).
+GUARDED_POLICIES: tuple[str, ...] = ("icount", "stall", "flush", "dg", "pdg", "dwarn")
+
+#: Small but policy-discriminating workloads: a memory-bound pair (where the
+#: load-miss policies separate from ICOUNT) and the mixed 4-thread workload
+#: used by the speed microbench.
+GUARDED_WORKLOADS: tuple[str, ...] = ("2-MEM", "4-MIX")
+
+#: Deterministic short-run window. Small enough to keep the guard under a
+#: couple of minutes, long enough that every policy mechanism (gates,
+#: flushes, predictor warm-up) has fired.
+_DIGEST_SIMCFG = dict(
+    warmup_cycles=200, measure_cycles=1500, trace_length=6_000, seed=777
+)
+
+#: Speed-measurement shape (matches the tentpole's 4-MIX/dwarn microbench).
+_SPEED_WORKLOAD = "4-MIX"
+_SPEED_POLICY = "dwarn"
+_SPEED_CYCLES = 20_000
+_SPEED_REPEATS = 3
+
+
+def calibration_score(rounds: int = 3) -> float:
+    """Millions of pure-Python calibration operations per second on this host.
+
+    The loop mixes integer arithmetic, list indexing and attribute-free
+    function calls — the same primitive mix the simulator hot loop spends
+    its time in — so the ratio sim-cycles/sec : calibration-ops/sec is
+    far more stable across hosts than raw cycles/sec.
+    """
+
+    def one_round() -> float:
+        buf = list(range(256))
+        acc = 0
+        n = 400_000
+        t0 = time.perf_counter()
+        for k in range(n):
+            acc = (acc + buf[k & 255]) & 0xFFFFFFFF
+            buf[k & 255] = acc & 255
+        dt = time.perf_counter() - t0
+        if acc < 0:  # pragma: no cover - keeps the loop from being elided
+            raise AssertionError
+        return n / dt / 1e6
+
+    return max(one_round() for _ in range(rounds))
+
+
+def collect_digests() -> dict[str, Any]:
+    """Behavioral digests for every guarded (workload, policy) pair.
+
+    Exact integers (cycles, per-thread committed counts) catch any semantic
+    drift; rounded IPC/Hmean floats make the baseline file human-reviewable.
+    """
+    runner = ExperimentRunner("baseline", SimulationConfig(**_DIGEST_SIMCFG))
+    digests: dict[str, Any] = {}
+    for workload in GUARDED_WORKLOADS:
+        for policy in GUARDED_POLICIES:
+            res = runner.run(workload, policy)
+            digests[f"{workload}/{policy}"] = {
+                "cycles": res.cycles,
+                "committed": list(res.committed),
+                "ipc": [round(x, 6) for x in res.ipc],
+                "hmean": round(runner.hmean(workload, policy), 6),
+            }
+    return digests
+
+
+def collect_speed() -> dict[str, float]:
+    """Measure simulation speed and its host-normalized score."""
+    calib = calibration_score()
+    cps = max(
+        cycles_per_second(_SPEED_WORKLOAD, _SPEED_POLICY, cycles=_SPEED_CYCLES)
+        for _ in range(_SPEED_REPEATS)
+    )
+    return {
+        "cycles_per_second": round(cps, 1),
+        "calibration_mops": round(calib, 3),
+        "normalized_score": round(cps / calib, 1),
+    }
+
+
+def compare(
+    baseline: dict[str, Any], current: dict[str, Any], tolerance: float
+) -> list[str]:
+    """Return a list of human-readable failures (empty = guard passes)."""
+    failures: list[str] = []
+
+    base_digests = baseline.get("digests", {})
+    cur_digests = current.get("digests", {})
+    for key in sorted(base_digests):
+        if key not in cur_digests:
+            failures.append(f"digest missing for {key}")
+            continue
+        if base_digests[key] != cur_digests[key]:
+            failures.append(
+                f"digest drift for {key}: baseline={base_digests[key]} "
+                f"current={cur_digests[key]}"
+            )
+
+    base_speed = baseline.get("speed", {})
+    cur_speed = current.get("speed", {})
+    base_score = float(base_speed.get("normalized_score", 0.0))
+    cur_score = float(cur_speed.get("normalized_score", 0.0))
+    if base_score > 0.0:
+        floor = base_score * (1.0 - tolerance)
+        if cur_score < floor:
+            failures.append(
+                "speed regression: normalized score "
+                f"{cur_score:.1f} < floor {floor:.1f} "
+                f"(baseline {base_score:.1f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def _build_current(skip_speed: bool) -> dict[str, Any]:
+    current: dict[str, Any] = {"digests": collect_digests()}
+    if not skip_speed:
+        current["speed"] = collect_speed()
+    return current
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status (see module doc)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.utils.perfguard", description=__doc__
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/baselines.json"),
+        help="baseline file to compare against (default: benchmarks/baselines.json)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative speed tolerance (default: value stored in the baseline, "
+        "else 0.20)",
+    )
+    parser.add_argument(
+        "--skip-speed",
+        action="store_true",
+        help="check result digests only (no timing; fully deterministic)",
+    )
+    args = parser.parse_args(argv)
+
+    current = _build_current(args.skip_speed)
+
+    if args.update:
+        current["tolerance"] = args.tolerance if args.tolerance is not None else 0.20
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"perfguard: baseline written to {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"perfguard: baseline {args.baseline} not found "
+            "(run with --update to create it)",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline = json.loads(args.baseline.read_text())
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else float(baseline.get("tolerance", 0.20))
+    )
+    if args.skip_speed:
+        baseline = dict(baseline)
+        baseline.pop("speed", None)
+
+    failures = compare(baseline, current, tolerance)
+    if failures:
+        for f in failures:
+            print(f"perfguard FAIL: {f}", file=sys.stderr)
+        return 1
+
+    n = len(current["digests"])
+    speed = current.get("speed")
+    if speed is not None:
+        print(
+            f"perfguard OK: {n} digests match; normalized speed "
+            f"{speed['normalized_score']:.1f} vs baseline "
+            f"{baseline.get('speed', {}).get('normalized_score', 0.0):.1f} "
+            f"(tolerance {tolerance:.0%})"
+        )
+    else:
+        print(f"perfguard OK: {n} digests match (speed check skipped)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -92,5 +92,8 @@ def workloads_for_machine(max_contexts: int) -> list[WorkloadSpec]:
     The §6 'small' machine has 4 contexts, so (like the paper's Figure 4) it
     is evaluated on the 2- and 4-thread workloads only.
     """
-    order = sorted(WORKLOADS.values(), key=lambda w: (w.size_class, ["ILP", "MIX", "MEM"].index(w.wl_class)))
+    order = sorted(
+        WORKLOADS.values(),
+        key=lambda w: (w.size_class, ["ILP", "MIX", "MEM"].index(w.wl_class)),
+    )
     return [w for w in order if w.num_threads <= max_contexts]

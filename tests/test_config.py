@@ -8,9 +8,7 @@ import pytest
 
 from repro.config import (
     CacheConfig,
-    MachineConfig,
     MemoryConfig,
-    ProcessorConfig,
     SimulationConfig,
     TLBConfig,
     baseline,

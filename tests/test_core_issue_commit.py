@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.config import SimulationConfig, baseline
 from repro.core import Simulator, make_policy

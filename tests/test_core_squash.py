@@ -7,11 +7,9 @@ drift) are exactly the class of error that silently corrupts results.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.config import SimulationConfig, baseline
 from repro.core import Simulator, make_policy
-from repro.isa.opcodes import OpClass
 from repro.workloads import build_programs, build_single, get_workload
 
 

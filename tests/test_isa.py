@@ -69,7 +69,7 @@ class TestDynInstr:
         assert not i.dispatched and not i.issued and not i.completed
         assert not i.squashed and not i.wrongpath and not i.mispredicted
         assert i.num_wait == 0
-        assert i.dependents == []
+        assert not i.dependents  # lazily allocated: None until first waiter
         assert i.fill_cycle == -1
 
     def test_class_predicates(self):

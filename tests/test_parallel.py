@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.config import SimulationConfig
 from repro.experiments import ExperimentRunner, prefetch, run_pairs, sweep_pairs

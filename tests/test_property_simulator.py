@@ -4,7 +4,6 @@ reasonable configuration, workload and policy — not just the paper's points.
 
 from __future__ import annotations
 
-import dataclasses
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 

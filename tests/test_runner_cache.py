@@ -1,0 +1,80 @@
+"""Regression tests for the ExperimentRunner disk cache's version folding.
+
+The bug class being guarded: a library upgrade changes simulation results
+with no config-visible difference, but the old on-disk entries still match
+by filename and get served stale. The filename must therefore fold in both
+``CACHE_VERSION`` and the installed ``repro`` version explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import repro
+from repro.config import SimulationConfig
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import CACHE_VERSION, ExperimentRunner
+
+CFG = SimulationConfig(warmup_cycles=0, measure_cycles=200, trace_length=2_000)
+
+
+def fresh_runner(cache_dir) -> ExperimentRunner:
+    return ExperimentRunner("baseline", CFG, cache_dir=cache_dir)
+
+
+class TestDiskCacheVersioning:
+    def test_filename_folds_both_versions(self, tmp_path):
+        r = fresh_runner(tmp_path)
+        r.run("gcc", "icount")
+        (path,) = tmp_path.iterdir()
+        assert f"-c{CACHE_VERSION}-" in path.name
+        assert f"-r{repro.__version__}" in path.name
+
+    def test_disk_hit_skips_simulation(self, tmp_path):
+        a = fresh_runner(tmp_path)
+        res = a.run("gcc", "icount")
+        assert a.simulations_run == 1
+        b = fresh_runner(tmp_path)  # new memory cache, same disk cache
+        assert b.run("gcc", "icount") == res
+        assert b.simulations_run == 0
+
+    def test_matching_version_serves_disk_entry(self, tmp_path):
+        """The disk entry is authoritative while versions match — this is
+        what makes the version folding below load-bearing."""
+        a = fresh_runner(tmp_path)
+        a.run("gcc", "icount")
+        (path,) = tmp_path.iterdir()
+        data = json.loads(path.read_text())
+        data["cycles"] = 99_999  # simulate an entry from different behavior
+        path.write_text(json.dumps(data))
+        b = fresh_runner(tmp_path)
+        assert b.run("gcc", "icount").cycles == 99_999
+        assert b.simulations_run == 0
+
+    def test_cache_version_bump_invalidates_disk_entries(self, tmp_path, monkeypatch):
+        a = fresh_runner(tmp_path)
+        a.run("gcc", "icount")
+        (path,) = tmp_path.iterdir()
+        data = json.loads(path.read_text())
+        data["cycles"] = 99_999  # stale semantics under the *old* version
+        path.write_text(json.dumps(data))
+        monkeypatch.setattr(runner_mod, "CACHE_VERSION", CACHE_VERSION + 1)
+        b = fresh_runner(tmp_path)
+        res = b.run("gcc", "icount")
+        assert b.simulations_run == 1  # stale entry was not served
+        assert res.cycles != 99_999
+
+    def test_library_version_bump_invalidates_disk_entries(
+        self, tmp_path, monkeypatch
+    ):
+        a = fresh_runner(tmp_path)
+        a.run("gcc", "icount")
+        (path,) = tmp_path.iterdir()
+        data = json.loads(path.read_text())
+        data["cycles"] = 99_999
+        path.write_text(json.dumps(data))
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        b = fresh_runner(tmp_path)
+        res = b.run("gcc", "icount")
+        assert b.simulations_run == 1
+        assert res.cycles != 99_999

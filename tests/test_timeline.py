@@ -6,7 +6,7 @@ import pytest
 
 from repro.config import SimulationConfig, baseline
 from repro.core import Simulator, make_policy
-from repro.experiments.runner import ExperimentRunner, MultiSeedResult
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics import TimelineSampler, sparkline
 from repro.workloads import build_programs, get_workload
 

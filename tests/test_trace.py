@@ -17,7 +17,6 @@ from repro.trace import (
     get_profile,
 )
 from repro.trace.address_space import (
-    CODE_OFFSET,
     COLD_OFFSET,
     L1_SETS,
     LINE_BYTES,
