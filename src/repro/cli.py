@@ -5,7 +5,9 @@ Subcommands::
     dwarn-sim run 4-MIX --policy dwarn         # one simulation, summary out
     dwarn-sim compare 4-MIX                    # all six policies side by side
     dwarn-sim table2a                          # one experiment by name
-    dwarn-sim report -o EXPERIMENTS.md         # the full paper-vs-measured report
+    dwarn-sim report -o EXPERIMENTS.md -j 8    # the full paper-vs-measured report
+    dwarn-sim cache stats                      # result/trace cache footprint
+    dwarn-sim cache clear                      # wipe both caches
     dwarn-sim list                             # workloads/policies/machines
 """
 
@@ -13,6 +15,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 
 from repro import (
     PAPER_POLICIES,
@@ -60,6 +64,27 @@ def build_parser() -> argparse.ArgumentParser:
         "-j", "--parallel", type=int, default=1,
         help="worker processes for the simulation sweeps",
     )
+    p_rep.add_argument(
+        "--trace-cache", default=".cache/traces", metavar="DIR",
+        help="persistent trace-artifact directory (default: .cache/traces)",
+    )
+    p_rep.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="regenerate every trace instead of using the artifact cache",
+    )
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or wipe the result/trace caches"
+    )
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument(
+        "--cache-dir", default=".cache",
+        help="simulation-result cache directory (default: .cache)",
+    )
+    p_cache.add_argument(
+        "--trace-cache", default=".cache/traces", metavar="DIR",
+        help="trace-artifact cache directory (default: .cache/traces)",
+    )
 
     sub.add_parser("list", help="available workloads, policies and machines")
     return parser
@@ -72,6 +97,53 @@ def _simcfg(args: argparse.Namespace) -> SimulationConfig:
         trace_length=args.trace_length,
         seed=args.seed,
     )
+
+
+def _cache_command(args: argparse.Namespace) -> int:
+    """``dwarn-sim cache stats|clear``: the two on-disk sweep caches (JSON
+    simulation results + binary trace artifacts) without spelunking."""
+    from repro.experiments.parallel import SweepCostModel
+    from repro.trace import TraceArtifactCache, trace_cache_stats
+
+    result_dir = Path(args.cache_dir)
+    cost_path = result_dir / SweepCostModel.FILENAME
+    trace_cache = TraceArtifactCache(args.trace_cache)
+    result_files = (
+        [f for f in sorted(result_dir.glob("*.json")) if f != cost_path]
+        if result_dir.is_dir()
+        else []
+    )
+
+    if args.action == "stats":
+        ts = trace_cache.stats()
+        rows = [
+            [
+                "results",
+                str(result_dir),
+                len(result_files),
+                sum(f.stat().st_size for f in result_files),
+            ],
+            ["traces", ts["directory"], ts["entries"], ts["total_bytes"]],
+        ]
+        print(format_table(["cache", "directory", "entries", "bytes"],
+                           rows, title="dwarn-sim caches"))
+        n_costs = len(SweepCostModel(cost_path)) if cost_path.exists() else 0
+        print(f"  cost model: {n_costs} measured pair costs ({cost_path})")
+        mem = trace_cache_stats()
+        print(
+            f"  this process: {mem['mem_entries']} traces memoized, "
+            f"{mem['mem_hits']} memo hits, {mem['generated']} generated"
+        )
+        return 0
+
+    removed_traces = trace_cache.clear()
+    removed_results = 0
+    for f in result_files:
+        f.unlink(missing_ok=True)
+        removed_results += 1
+    cost_path.unlink(missing_ok=True)
+    print(f"removed {removed_results} cached results, {removed_traces} trace artifacts")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -105,21 +177,73 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "report":
-        runner = ExperimentRunner(args.machine, simcfg, cache_dir=args.cache_dir, verbose=True)
+        runner = ExperimentRunner(
+            args.machine,
+            simcfg,
+            cache_dir=args.cache_dir,
+            verbose=True,
+            trace_cache_dir=None if args.no_trace_cache else args.trace_cache,
+        )
         if args.parallel > 1:
-            from repro.experiments import prefetch, sweep_pairs
+            from repro.experiments import (
+                ext_seeds,
+                prefetch,
+                prefetch_seed_sweep,
+                sweep_pairs,
+            )
 
             # with_machine shares the runner's caches, so prefetched results
             # are visible to every experiment module.
             for machine in ("baseline", "small", "deep"):
                 sub_runner = runner.with_machine(machine)
+
+                def progress(done, total, wl, pol, secs, _m=machine):
+                    print(f"[sweep {_m}] {done}/{total} {wl}/{pol} ({secs:.1f}s)", flush=True)
+
+                t0 = time.perf_counter()
                 n = prefetch(
-                    sub_runner, sweep_pairs(sub_runner, PAPER_POLICIES), args.parallel
+                    sub_runner,
+                    sweep_pairs(sub_runner, PAPER_POLICIES),
+                    args.parallel,
+                    progress=progress,
                 )
-                print(f"[prefetch] {machine}: {n} simulations", flush=True)
+                print(
+                    f"[prefetch] {machine}: {n} simulations "
+                    f"in {time.perf_counter() - t0:.1f}s",
+                    flush=True,
+                )
+
+            # The seed-robustness extension re-runs its pairs once per trace
+            # seed; without this it is the report's largest serial tail.
+            def seed_progress(done, total, wl, pol, secs):
+                print(f"[sweep seeds] {done}/{total} {wl}/{pol} ({secs:.1f}s)", flush=True)
+
+            t0 = time.perf_counter()
+            n = prefetch_seed_sweep(
+                runner,
+                [(wl, pol) for wl in ext_seeds.WORKLOADS for pol in ext_seeds.POLICIES],
+                ext_seeds.SEEDS,
+                args.parallel,
+                progress=seed_progress,
+            )
+            print(
+                f"[prefetch] seed sweep: {n} simulations "
+                f"in {time.perf_counter() - t0:.1f}s",
+                flush=True,
+            )
         path = generate_report(args.output, runner)
+        if runner.trace_cache is not None:
+            s = runner.trace_cache.stats()
+            print(
+                f"[trace-cache] {s['entries']} artifacts "
+                f"({s['total_bytes'] / 1e6:.1f} MB), "
+                f"{s['disk_hits']} loads, {s['stores']} stores this run"
+            )
         print(f"wrote {path}")
         return 0
+
+    if args.command == "cache":
+        return _cache_command(args)
 
     # Named experiment.
     runner = ExperimentRunner(args.machine, simcfg, verbose=True)

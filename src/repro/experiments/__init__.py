@@ -28,7 +28,14 @@ from repro.experiments import (
     table2a,
     table4,
 )
-from repro.experiments.parallel import prefetch, run_pairs, sweep_pairs
+from repro.experiments.parallel import (
+    SweepCostModel,
+    SweepError,
+    prefetch,
+    prefetch_seed_sweep,
+    run_pairs,
+    sweep_pairs,
+)
 from repro.experiments.report import generate_report, ALL_EXPERIMENTS
 
 __all__ = [
@@ -43,7 +50,10 @@ __all__ = [
     "table4",
     "ext_metrics",
     "ext_seeds",
+    "SweepCostModel",
+    "SweepError",
     "prefetch",
+    "prefetch_seed_sweep",
     "run_pairs",
     "sweep_pairs",
     "generate_report",

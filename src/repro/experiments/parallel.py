@@ -7,40 +7,219 @@ of (workload, policy) pairs in a process pool and installs the results into
 an :class:`ExperimentRunner`'s caches; the experiment modules then find every
 run already cached.
 
+The scheduler is built for sweep *throughput* and *robustness*:
+
+- **Cost-model ordering.** Pairs are dispatched longest-job-first, using
+  wall-clock costs measured on previous sweeps (persisted as
+  ``sweep_costs.json`` next to the result cache) and falling back to
+  ``num_threads x trace_length`` for never-measured pairs. With streaming
+  completion this minimizes the makespan tail: an 8-thread MEM workload no
+  longer starts last and runs alone while the other workers idle.
+- **Streaming completion.** Results are consumed as they finish
+  (``concurrent.futures.wait``), not in submission order, so one slow pair
+  never serializes the tail, and progress is observable while the sweep runs
+  (``progress`` callback, rendered by the CLI).
+- **Fault tolerance.** A worker process dying (OOM kill, segfault, operator
+  ``kill -9``) breaks the whole ``ProcessPoolExecutor``; the scheduler
+  rebuilds the pool and re-queues every unfinished pair, bounded by
+  :data:`MAX_POOL_RESTARTS`. A pair whose simulation *raises* is retried
+  once (``retries``), then the sweep is aborted with a :class:`SweepError`
+  naming the failing (workload, policy) pair, with outstanding futures
+  cancelled.
+
 Workers rebuild traces from seeds (deterministic), so only small picklable
-inputs (machine config, simulation config, names) cross process boundaries,
-and each worker amortizes its trace cache across the pairs it executes.
+inputs (machine config, simulation config, names) cross process boundaries.
+When a trace-artifact directory is given, each worker additionally reads
+persisted traces from disk (:mod:`repro.trace.artifact`) instead of
+regenerating them — the single largest cost of a cold sweep.
 
 Usage::
 
-    runner = ExperimentRunner("baseline", cache_dir=".cache")
-    prefetch(runner, all_figure1_pairs(runner), processes=8)
+    runner = ExperimentRunner("baseline", cache_dir=".cache",
+                              trace_cache_dir=".cache/traces")
+    prefetch(runner, sweep_pairs(runner, PAPER_POLICIES), processes=8)
     figure1.run(runner)          # all cache hits
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Sequence
+import dataclasses
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
 
 from repro.config import MachineConfig, SimulationConfig
 from repro.core import SimResult, Simulator, make_policy
 from repro.experiments.runner import ExperimentRunner
+from repro.trace.artifact import TraceArtifactCache
 from repro.workloads import build_programs, build_single, get_workload, workloads_for_machine
 
-__all__ = ["prefetch", "sweep_pairs", "run_pairs"]
+__all__ = [
+    "MAX_POOL_RESTARTS",
+    "SweepCostModel",
+    "SweepError",
+    "prefetch",
+    "prefetch_seed_sweep",
+    "run_pairs",
+    "sweep_pairs",
+]
+
+#: Upper bound on process-pool rebuilds per sweep: each worker death
+#: re-queues the unfinished pairs into a fresh pool; past this many pool
+#: losses the environment (not a transient) is the problem, so fail loudly.
+MAX_POOL_RESTARTS = 3
+
+#: Progress callback signature: (done, total, workload, policy, secs).
+ProgressFn = Callable[[int, int, str, str, float], None]
+
+
+class SweepError(RuntimeError):
+    """A sweep aborted: carries the failing (workload, policy) when known."""
+
+    def __init__(self, message: str, workload: str | None = None, policy: str | None = None):
+        super().__init__(message)
+        self.workload = workload
+        self.policy = policy
+
+
+# ----------------------------------------------------------------------
+# Cost model
+
+
+class SweepCostModel:
+    """Per-pair wall-clock costs, measured on prior sweeps and persisted.
+
+    Lives as ``sweep_costs.json`` inside the result-cache directory. Keys
+    fold in the machine preset and the cost-determining simulation
+    parameters (measured cycles, trace length), so estimates from a scaled
+    run never misorder a full-scale sweep. Estimates for never-measured
+    pairs fall back to ``num_threads x trace_length`` — in different units
+    than measured seconds, which deliberately sorts unknown pairs *first*
+    (conservative for longest-job-first: an unknown job is scheduled as if
+    long).
+    """
+
+    FILENAME = "sweep_costs.json"
+    _VERSION = 1
+
+    def __init__(self, path: str | Path | None) -> None:
+        self.path = Path(path) if path else None
+        self._costs: dict[str, float] = {}
+        self._dirty = False
+        if self.path is not None and self.path.exists():
+            try:
+                data = json.loads(self.path.read_text())
+                if data.get("version") == self._VERSION:
+                    self._costs = {str(k): float(v) for k, v in data["costs"].items()}
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+                self._costs = {}  # unreadable model: start fresh
+
+    @classmethod
+    def for_cache_dir(cls, cache_dir: str | Path | None) -> "SweepCostModel":
+        """Cost model persisted in ``cache_dir`` (in-memory only if None)."""
+        return cls(Path(cache_dir) / cls.FILENAME if cache_dir else None)
+
+    # -- keys ----------------------------------------------------------
+
+    @staticmethod
+    def _key(machine_name: str, simcfg: SimulationConfig, workload: str, policy: str) -> str:
+        return f"{machine_name}/{workload}/{policy}/c{simcfg.measure_cycles}/t{simcfg.trace_length}"
+
+    @staticmethod
+    def fallback(simcfg: SimulationConfig, workload: str) -> float:
+        """Cost proxy for a never-measured pair: ``num_threads x trace_length``
+        (simulation work scales with both; policy barely matters)."""
+        try:
+            n_threads = len(get_workload(workload).benchmarks)
+        except KeyError:
+            n_threads = 1  # single-benchmark reference run
+        return float(n_threads * simcfg.trace_length)
+
+    # -- estimate / record ---------------------------------------------
+
+    def estimate(
+        self, machine_name: str, simcfg: SimulationConfig, workload: str, policy: str
+    ) -> float:
+        """Expected cost of one pair (measured seconds, else the fallback
+        proxy — see class docstring for why the units may differ)."""
+        measured = self._costs.get(self._key(machine_name, simcfg, workload, policy))
+        return measured if measured is not None else self.fallback(simcfg, workload)
+
+    def record(
+        self, machine_name: str, simcfg: SimulationConfig, workload: str, policy: str, secs: float
+    ) -> None:
+        """Fold one measured pair cost into the model (EMA over runs, so a
+        one-off noisy measurement cannot wreck future schedules)."""
+        key = self._key(machine_name, simcfg, workload, policy)
+        old = self._costs.get(key)
+        self._costs[key] = secs if old is None else 0.5 * old + 0.5 * secs
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist the model atomically (write-then-rename, same discipline
+        as the trace artifacts); a no-op when nothing changed or in-memory."""
+        if self.path is None or not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f"{self.path.name}.tmp-{os.getpid()}")
+        tmp.write_text(
+            json.dumps({"version": self._VERSION, "costs": self._costs}, sort_keys=True)
+        )
+        os.replace(tmp, self.path)
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._costs)
+
+
+# ----------------------------------------------------------------------
+# Workers
+
+#: Per-worker-process artifact caches, one per directory: workers are
+#: long-lived and run many pairs, so the cache object (and its in-process
+#: memo hits) amortizes across everything one worker executes.
+_WORKER_CACHES: dict[str, TraceArtifactCache] = {}
+
+
+def _worker_trace_cache(trace_cache_dir: str | None) -> TraceArtifactCache | None:
+    if trace_cache_dir is None:
+        return None
+    cache = _WORKER_CACHES.get(trace_cache_dir)
+    if cache is None:
+        cache = _WORKER_CACHES[trace_cache_dir] = TraceArtifactCache(trace_cache_dir)
+    return cache
 
 
 def _simulate_one(
-    machine: MachineConfig, simcfg: SimulationConfig, workload: str, policy: str
-) -> tuple[str, str, SimResult]:
-    """Worker: one full simulation (module-level so it pickles)."""
+    machine: MachineConfig,
+    simcfg: SimulationConfig,
+    workload: str,
+    policy: str,
+    trace_cache_dir: str | None = None,
+) -> tuple[str, str, SimResult, float]:
+    """Worker: one full simulation (module-level so it pickles).
+
+    Returns ``(workload, policy, result, secs)`` — the elapsed time is
+    measured *inside* the worker so queue wait never pollutes the cost
+    model. When ``trace_cache_dir`` is given, trace generation reads/writes
+    persistent artifacts there instead of walking from scratch.
+    """
+    t0 = time.perf_counter()
+    cache = _worker_trace_cache(trace_cache_dir)
     try:
-        programs = build_programs(get_workload(workload), simcfg)
+        programs = build_programs(get_workload(workload), simcfg, trace_cache=cache)
     except KeyError:
-        programs = build_single(workload, simcfg)
+        programs = build_single(workload, simcfg, trace_cache=cache)
     sim = Simulator(machine, programs, make_policy(policy), simcfg)
-    return workload, policy, sim.run()
+    res = sim.run()
+    return workload, policy, res, time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# Pair enumeration
 
 
 def sweep_pairs(
@@ -61,45 +240,202 @@ def sweep_pairs(
     return pairs
 
 
+# ----------------------------------------------------------------------
+# Scheduler
+
+
 def run_pairs(
     machine: MachineConfig,
     simcfg: SimulationConfig,
     pairs: Iterable[tuple[str, str]],
     processes: int | None = None,
+    *,
+    trace_cache_dir: str | None = None,
+    cost_model: SweepCostModel | None = None,
+    progress: ProgressFn | None = None,
+    retries: int = 1,
+    worker: Callable[..., tuple[str, str, SimResult, float]] | None = None,
 ) -> list[tuple[str, str, SimResult]]:
-    """Run pairs in a process pool; returns (workload, policy, result)."""
+    """Run pairs in a process pool; returns (workload, policy, result) in
+    the order the pairs were given.
+
+    Scheduling is longest-job-first by ``cost_model`` estimate, completion
+    is streamed, worker-process deaths rebuild the pool and re-queue the
+    unfinished pairs (at most :data:`MAX_POOL_RESTARTS` times), and a pair
+    whose simulation raises is retried ``retries`` times before the sweep
+    aborts with a :class:`SweepError` naming it. ``worker`` overrides the
+    simulation callable (tests inject crashing workers through this).
+    """
     pairs = list(pairs)
     if not pairs:
         return []
+    run_one = worker or _simulate_one
+    # Not ``or``: an empty cost model is falsy (len 0) but must still be
+    # recorded into, so later sweeps inherit this one's measurements.
+    model = cost_model if cost_model is not None else SweepCostModel(None)
+    order = sorted(
+        range(len(pairs)),
+        key=lambda i: model.estimate(machine.name, simcfg, *pairs[i]),
+        reverse=True,
+    )
+    total = len(pairs)
+    results: dict[int, SimResult] = {}
+
+    def _finish(i: int, res: SimResult, secs: float) -> None:
+        results[i] = res
+        wl, pol = pairs[i]
+        model.record(machine.name, simcfg, wl, pol, secs)
+        if progress is not None:
+            progress(len(results), total, wl, pol, secs)
+
     if processes is not None and processes <= 1:
-        return [_simulate_one(machine, simcfg, wl, pol) for wl, pol in pairs]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        futures = [
-            pool.submit(_simulate_one, machine, simcfg, wl, pol) for wl, pol in pairs
-        ]
-        return [f.result() for f in futures]
+        for i in order:
+            wl, pol = pairs[i]
+            attempt = 0
+            while True:
+                try:
+                    _, _, res, secs = run_one(machine, simcfg, wl, pol, trace_cache_dir)
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > retries:
+                        raise SweepError(
+                            f"simulation failed for ({wl}, {pol}): {exc!r}", wl, pol
+                        ) from exc
+            _finish(i, res, secs)
+        return [(pairs[i][0], pairs[i][1], results[i]) for i in range(total)]
+
+    attempts = [0] * total
+    restarts = 0
+    while len(results) < total:
+        remaining = [i for i in order if i not in results]
+        pool_broke = False
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+
+            fut_pair: dict[Future, int] = {}
+
+            def _submit(i: int) -> Future:
+                wl, pol = pairs[i]
+                fut = pool.submit(run_one, machine, simcfg, wl, pol, trace_cache_dir)
+                fut_pair[fut] = i
+                return fut
+
+            pending = {_submit(i) for i in remaining}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i = fut_pair[fut]
+                    wl, pol = pairs[i]
+                    try:
+                        _, _, res, secs = fut.result()
+                    except BrokenExecutor:
+                        # A worker process died. Every other pending future
+                        # on this pool is poisoned too: drop the pool and
+                        # re-queue all unfinished pairs on a fresh one.
+                        pool_broke = True
+                        pending = set()
+                        break
+                    except Exception as exc:
+                        attempts[i] += 1
+                        if attempts[i] > retries:
+                            for other in pending:
+                                other.cancel()
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            raise SweepError(
+                                f"simulation failed for ({wl}, {pol}) after "
+                                f"{attempts[i]} attempts: {exc!r}",
+                                wl,
+                                pol,
+                            ) from exc
+                        pending.add(_submit(i))  # bounded re-queue, same pool
+                    else:
+                        _finish(i, res, secs)
+        if pool_broke:
+            restarts += 1
+            if restarts > MAX_POOL_RESTARTS:
+                raise SweepError(
+                    f"worker pool died {restarts} times; "
+                    f"{total - len(results)}/{total} pairs unfinished"
+                )
+    return [(pairs[i][0], pairs[i][1], results[i]) for i in range(total)]
 
 
 def prefetch(
     runner: ExperimentRunner,
     pairs: Iterable[tuple[str, str]],
     processes: int | None = None,
+    progress: ProgressFn | None = None,
 ) -> int:
     """Fill the runner's caches for ``pairs`` using worker processes.
 
-    Already-cached pairs are skipped. Returns the number of simulations
-    actually executed.
+    Pairs already in the memory cache are skipped; pairs present on disk are
+    *installed into the memory cache* (parsed once, not discarded), so the
+    experiment modules hit memory afterwards either way. Returns the number
+    of simulations actually executed.
+
+    Measured per-pair costs are recorded into the sweep cost model next to
+    the result cache, improving the longest-job-first schedule of every
+    later sweep.
     """
-    todo = [
-        (wl, pol)
-        for wl, pol in dict.fromkeys(pairs)  # dedupe, keep order
-        if runner._mem_cache.get(runner._key(wl, pol)) is None
-        and runner._load_disk(runner._key(wl, pol)) is None
-    ]
-    results = run_pairs(runner.machine, runner.simcfg, todo, processes)
+    todo: list[tuple[str, str]] = []
+    for wl, pol in dict.fromkeys(pairs):  # dedupe, keep order
+        key = runner._key(wl, pol)
+        if key in runner._mem_cache:
+            continue
+        res = runner._load_disk(key)
+        if res is not None:
+            runner._mem_cache[key] = res
+            continue
+        todo.append((wl, pol))
+    cost_model = SweepCostModel.for_cache_dir(runner.cache_dir)
+    results = run_pairs(
+        runner.machine,
+        runner.simcfg,
+        todo,
+        processes,
+        trace_cache_dir=runner.trace_cache_dir,
+        cost_model=cost_model,
+        progress=progress,
+    )
     for wl, pol, res in results:
         key = runner._key(wl, pol)
         runner._mem_cache[key] = res
         runner._store_disk(key, res)
+    cost_model.save()
     runner.simulations_run += len(results)
     return len(results)
+
+
+def prefetch_seed_sweep(
+    runner: ExperimentRunner,
+    pairs: Iterable[tuple[str, str]],
+    seeds: Iterable[int],
+    processes: int | None = None,
+    progress: ProgressFn | None = None,
+) -> int:
+    """Prefetch ``pairs`` under several trace *seeds* (the ext_seeds sweep).
+
+    The seed-robustness extension re-runs its pairs once per seed; without
+    this, those simulations execute serially inside the report long after
+    the main prefetch finished — the largest remaining serial tail of
+    ``dwarn-sim report -j N``. Cache keys fold the seed in, so the per-seed
+    sub-runners can share the caller's memory cache (exactly what
+    ``ExperimentRunner.run_multi`` later hits). Returns the number of
+    simulations executed.
+    """
+    total = 0
+    pairs = list(pairs)
+    for seed in seeds:
+        sub = ExperimentRunner(
+            runner.machine,
+            dataclasses.replace(runner.simcfg, seed=seed),
+            runner.cache_dir,
+            runner.verbose,
+            trace_cache_dir=runner.trace_cache_dir,
+        )
+        sub._mem_cache = runner._mem_cache
+        if runner.trace_cache is not None:
+            sub.trace_cache = runner.trace_cache  # share hit/miss accounting
+        total += prefetch(sub, pairs, processes, progress)
+        runner.simulations_run += sub.simulations_run
+    return total

@@ -16,6 +16,7 @@ from typing import Iterable
 from repro.config import MachineConfig, SimulationConfig, get_preset
 from repro.core import Simulator, SimResult, make_policy
 from repro.metrics.fairness import FairnessReport
+from repro.trace.artifact import TraceArtifactCache
 from repro.utils.rng import stable_hash64
 from repro.workloads import WorkloadSpec, build_programs, build_single, get_workload
 
@@ -121,6 +122,7 @@ class ExperimentRunner:
         simcfg: SimulationConfig | None = None,
         cache_dir: str | Path | None = None,
         verbose: bool = False,
+        trace_cache_dir: str | Path | None = None,
     ) -> None:
         self.machine = get_preset(machine) if isinstance(machine, str) else machine
         self.simcfg = simcfg or SimulationConfig()
@@ -128,16 +130,35 @@ class ExperimentRunner:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         if self.cache_dir:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: Persistent trace-artifact cache backing ``_simulate`` (and, via
+        #: ``prefetch``, every worker process): traces are much costlier to
+        #: walk than to load, and are shared bit-identically by every policy
+        #: over one workload.
+        self.trace_cache = TraceArtifactCache(trace_cache_dir) if trace_cache_dir else None
         self.verbose = verbose
         self.simulations_run = 0
+
+    @property
+    def trace_cache_dir(self) -> str | None:
+        """Directory of the persistent trace cache (``None`` = disabled);
+        the picklable handle worker processes receive."""
+        return str(self.trace_cache.directory) if self.trace_cache else None
 
     # ------------------------------------------------------------------
 
     def with_machine(self, machine: MachineConfig | str) -> "ExperimentRunner":
         """A runner for a different architecture sharing both caches (keys
         include the machine, so sharing is collision-free)."""
-        other = ExperimentRunner(machine, self.simcfg, self.cache_dir, self.verbose)
+        other = ExperimentRunner(
+            machine,
+            self.simcfg,
+            self.cache_dir,
+            self.verbose,
+            trace_cache_dir=self.trace_cache_dir,
+        )
         other._mem_cache = self._mem_cache
+        if self.trace_cache is not None:
+            other.trace_cache = self.trace_cache  # share hit/miss accounting
         return other
 
     def _key(self, workload: str, policy: str) -> str:
@@ -215,6 +236,7 @@ class ExperimentRunner:
                 dataclasses.replace(base_simcfg, seed=seed),
                 self.cache_dir,
                 self.verbose,
+                trace_cache_dir=self.trace_cache_dir,
             )
             sub._mem_cache = self._mem_cache  # share within this runner
             results.append(sub.run(workload, policy))
@@ -227,11 +249,11 @@ class ExperimentRunner:
         if isinstance(workload, str):
             try:
                 spec = get_workload(workload)
-                programs = build_programs(spec, self.simcfg)
+                programs = build_programs(spec, self.simcfg, trace_cache=self.trace_cache)
             except KeyError:
-                programs = build_single(workload, self.simcfg)
+                programs = build_single(workload, self.simcfg, trace_cache=self.trace_cache)
         else:
-            programs = build_programs(workload, self.simcfg)
+            programs = build_programs(workload, self.simcfg, trace_cache=self.trace_cache)
         if self.verbose:  # pragma: no cover
             wl = workload if isinstance(workload, str) else workload.name
             print(f"[sim] {self.machine.name} {wl} {policy}", flush=True)

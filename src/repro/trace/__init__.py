@@ -27,7 +27,15 @@ from repro.trace.profiles import (
     MEM_BENCHMARKS,
     ILP_BENCHMARKS,
 )
-from repro.trace.synthetic import SyntheticTrace, generate_trace, clear_trace_cache
+from repro.trace.synthetic import (
+    SyntheticTrace,
+    generate_trace,
+    clear_trace_cache,
+    get_trace_artifact_cache,
+    set_trace_artifact_cache,
+    trace_cache_stats,
+)
+from repro.trace.artifact import ARTIFACT_VERSION, TraceArtifactCache, trace_cache_installed
 from repro.trace.wrongpath import WrongPathSupplier
 from repro.trace.address_space import AddressSpace
 
@@ -40,6 +48,12 @@ __all__ = [
     "SyntheticTrace",
     "generate_trace",
     "clear_trace_cache",
+    "get_trace_artifact_cache",
+    "set_trace_artifact_cache",
+    "trace_cache_stats",
+    "ARTIFACT_VERSION",
+    "TraceArtifactCache",
+    "trace_cache_installed",
     "WrongPathSupplier",
     "AddressSpace",
 ]

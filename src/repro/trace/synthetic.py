@@ -20,7 +20,14 @@ from repro.trace.codegen import INSTR_BYTES, CodeLayout
 from repro.trace.profiles import BenchmarkProfile
 from repro.utils.rng import SplitMix64, derive_seed
 
-__all__ = ["SyntheticTrace", "generate_trace", "clear_trace_cache"]
+__all__ = [
+    "SyntheticTrace",
+    "generate_trace",
+    "clear_trace_cache",
+    "set_trace_artifact_cache",
+    "get_trace_artifact_cache",
+    "trace_cache_stats",
+]
 
 _MAX_CALL_DEPTH = 64
 
@@ -52,6 +59,30 @@ class SyntheticTrace:
     def __init__(
         self, profile: BenchmarkProfile, length: int, base: int, seed: int, instance: int
     ) -> None:
+        walk_seed = self._init_static(profile, length, base, seed, instance)
+        self.pc: list[int] = []
+        self.op: list[int] = []
+        self.dest: list[int] = []
+        self.src1: list[int] = []
+        self.src2: list[int] = []
+        self.addr: list[int] = []
+        self.brkind: list[int] = []
+        self.taken: list[bool] = []
+        self.target: list[int] = []
+        self._walk(SplitMix64(walk_seed), self.aspace)
+        self._patch_wrap()
+        self._pack_records()
+
+    def _init_static(
+        self, profile: BenchmarkProfile, length: int, base: int, seed: int, instance: int
+    ) -> int:
+        """Set every field that is a cheap deterministic function of the key
+        (metadata, code layout, address space); returns the walk seed.
+
+        Shared by generation and artifact loading: the *walk* is the only
+        expensive step, so a disk-loaded trace redoes everything here and
+        skips only the walk.
+        """
         self.profile = profile
         self.length = length
         self.base = base
@@ -62,19 +93,11 @@ class SyntheticTrace:
         addr_seed = derive_seed(seed, "addr", profile.name, instance)
         code_base = base + CODE_OFFSET + set_stagger(base) * LINE_BYTES
         self.layout = CodeLayout(profile, code_base, code_seed)
-        self.pc: list[int] = []
-        self.op: list[int] = []
-        self.dest: list[int] = []
-        self.src1: list[int] = []
-        self.src2: list[int] = []
-        self.addr: list[int] = []
-        self.brkind: list[int] = []
-        self.taken: list[bool] = []
-        self.target: list[int] = []
         expected_loads = int(length * profile.load_frac)
         self.aspace = AddressSpace(profile, base, addr_seed, expected_loads=expected_loads)
-        self._walk(SplitMix64(walk_seed), self.aspace)
-        self._patch_wrap()
+        return walk_seed
+
+    def _pack_records(self) -> None:
         # Packed per-index records in DynInstr argument order: the fetch loop
         # does ONE list indexing per instruction instead of eight (this is
         # the "preallocated array" the hot loop replays; the parallel lists
@@ -92,6 +115,39 @@ class SyntheticTrace:
                 self.target,
             )
         )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        profile: BenchmarkProfile,
+        length: int,
+        base: int,
+        seed: int,
+        instance: int,
+        arrays: dict[str, list[int]],
+    ) -> "SyntheticTrace":
+        """Rebuild a trace from persisted parallel arrays, skipping the walk.
+
+        ``arrays`` maps the nine record-field names to full-length lists
+        (``taken`` as 0/1 ints). The code layout and address space are
+        regenerated from the key — they are deterministic and cheap, and the
+        simulator only reads their static products (resident-line sets, code
+        footprint), so the result is behaviorally identical to a freshly
+        generated trace; the parity tests enforce this field by field.
+        """
+        self = object.__new__(cls)
+        self._init_static(profile, length, base, seed, instance)
+        self.pc = arrays["pc"]
+        self.op = arrays["op"]
+        self.dest = arrays["dest"]
+        self.src1 = arrays["src1"]
+        self.src2 = arrays["src2"]
+        self.addr = arrays["addr"]
+        self.brkind = arrays["brkind"]
+        self.taken = [bool(t) for t in arrays["taken"]]
+        self.target = arrays["target"]
+        self._pack_records()
+        return self
 
     # ------------------------------------------------------------------
 
@@ -307,6 +363,28 @@ class SyntheticTrace:
 
 
 _TRACE_CACHE: dict[tuple, SyntheticTrace] = {}
+_STATS = {"mem_hits": 0, "generated": 0}
+
+#: Optional disk layer (a :class:`repro.trace.artifact.TraceArtifactCache`).
+#: Held here (not in artifact.py) so the hot ``generate_trace`` path needs no
+#: import of the artifact module; installed via ``set_trace_artifact_cache``
+#: or the ``trace_cache_installed`` context manager.
+_ARTIFACT_CACHE = None
+
+
+def set_trace_artifact_cache(cache):
+    """Install (or with ``None`` remove) the persistent artifact cache that
+    backs ``generate_trace``; returns the previously installed cache so
+    callers can scope the installation and restore it."""
+    global _ARTIFACT_CACHE
+    prev = _ARTIFACT_CACHE
+    _ARTIFACT_CACHE = cache
+    return prev
+
+
+def get_trace_artifact_cache():
+    """The currently installed persistent trace cache (or ``None``)."""
+    return _ARTIFACT_CACHE
 
 
 def generate_trace(
@@ -321,15 +399,41 @@ def generate_trace(
     ``instance`` distinguishes replicated benchmarks within a workload (the
     paper's boldfaced duplicates): each instance gets a decorrelated walk and
     its own address space base.
+
+    Lookup order: in-process memo (six policies over one workload pay
+    generation once), then the installed artifact cache's disk layer (repeat
+    sweeps and sibling worker processes pay it zero times), then a fresh
+    walk — which is persisted back to disk when an artifact cache is
+    installed.
     """
     key = (profile, length, base, seed, instance)
     trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        _STATS["mem_hits"] += 1
+        return trace
+    disk = _ARTIFACT_CACHE
+    if disk is not None:
+        trace = disk.load(profile, length, base, seed, instance)
     if trace is None:
         trace = SyntheticTrace(profile, length, base, seed, instance)
-        _TRACE_CACHE[key] = trace
+        _STATS["generated"] += 1
+        if disk is not None:
+            disk.store(trace)
+    _TRACE_CACHE[key] = trace
     return trace
 
 
 def clear_trace_cache() -> None:
-    """Drop all cached traces (tests use this to bound memory)."""
+    """Drop all in-memory cached traces (tests use this to bound memory;
+    the persistent artifact cache, if any, is unaffected)."""
     _TRACE_CACHE.clear()
+
+
+def trace_cache_stats() -> dict[str, int]:
+    """In-process trace-cache counters: memoized entries, memo hits, and
+    traces actually generated (walked) since interpreter start."""
+    return {
+        "mem_entries": len(_TRACE_CACHE),
+        "mem_hits": _STATS["mem_hits"],
+        "generated": _STATS["generated"],
+    }

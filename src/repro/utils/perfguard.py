@@ -19,6 +19,17 @@ preset) and compares two things against a checked-in baseline file
    checked-in number can guard many hosts. The comparison uses a relative
    tolerance (default 20%, per-file override in the baseline).
 
+3. **Sweep speed** — ``sweep_secs``: wall-clock of a small multi-workload
+   sweep through the parallel execution engine (``run_pairs``, 2 worker
+   processes, warm trace-artifact cache), host-normalized the same way
+   (``normalized_sweep_secs = sweep_secs * calibration_mops``; lower is
+   better). This is the end-to-end path ``dwarn-sim report -j N`` takes, so
+   it catches sweep-level regressions (scheduling, serialization, cache
+   plumbing) that the single-simulation microbench cannot see. Parallel
+   wall-clock is noisier than a single-process measurement, so its
+   tolerance is twice the speed tolerance (override: ``sweep_tolerance``
+   in the baseline file).
+
 Usage::
 
     python -m repro.utils.perfguard --baseline benchmarks/baselines.json
@@ -37,16 +48,18 @@ import time
 from pathlib import Path
 from typing import Any
 
-from repro.config import SimulationConfig
+from repro.config import SimulationConfig, get_preset
 from repro.experiments.runner import ExperimentRunner
 from repro.utils.profiling import cycles_per_second
 
 __all__ = [
     "GUARDED_POLICIES",
     "GUARDED_WORKLOADS",
+    "SWEEP_PAIRS",
     "calibration_score",
     "collect_digests",
     "collect_speed",
+    "collect_sweep",
     "compare",
     "main",
 ]
@@ -71,6 +84,18 @@ _SPEED_WORKLOAD = "4-MIX"
 _SPEED_POLICY = "dwarn"
 _SPEED_CYCLES = 20_000
 _SPEED_REPEATS = 3
+
+#: Sweep-measurement shape: a policy-and-thread-count-diverse slice of the
+#: report sweep, small enough for CI, wide enough that scheduling matters.
+SWEEP_PAIRS: tuple[tuple[str, str], ...] = (
+    ("4-MIX", "dwarn"),
+    ("4-MIX", "icount"),
+    ("2-MEM", "dwarn"),
+    ("2-MEM", "flush"),
+    ("2-ILP", "icount"),
+    ("gzip", "icount"),
+)
+_SWEEP_PROCESSES = 2
 
 
 def calibration_score(rounds: int = 3) -> float:
@@ -132,6 +157,43 @@ def collect_speed() -> dict[str, float]:
     }
 
 
+def collect_sweep(processes: int = _SWEEP_PROCESSES) -> dict[str, float]:
+    """Measure end-to-end sweep wall-clock through the parallel engine.
+
+    Runs :data:`SWEEP_PAIRS` via ``run_pairs`` with ``processes`` workers
+    and a pre-warmed temporary trace-artifact cache — the steady state a
+    repeat ``dwarn-sim report -j N`` runs in — and normalizes the wall
+    seconds by the host calibration score (lower is better).
+    """
+    import tempfile
+
+    from repro.experiments.parallel import run_pairs
+    from repro.trace.artifact import TraceArtifactCache, trace_cache_installed
+    from repro.workloads import build_programs, build_single, get_workload
+
+    calib = calibration_score()
+    simcfg = SimulationConfig(**_DIGEST_SIMCFG)
+    machine = get_preset("baseline")
+    with tempfile.TemporaryDirectory(prefix="perfguard-traces-") as tmp:
+        cache = TraceArtifactCache(tmp)
+        with trace_cache_installed(cache):  # pre-warm the artifact cache
+            for wl, _pol in SWEEP_PAIRS:
+                try:
+                    build_programs(get_workload(wl), simcfg)
+                except KeyError:
+                    build_single(wl, simcfg)
+        t0 = time.perf_counter()
+        run_pairs(machine, simcfg, list(SWEEP_PAIRS), processes, trace_cache_dir=tmp)
+        sweep_secs = time.perf_counter() - t0
+    return {
+        "sweep_secs": round(sweep_secs, 3),
+        "pairs": len(SWEEP_PAIRS),
+        "processes": processes,
+        "calibration_mops": round(calib, 3),
+        "normalized_sweep_secs": round(sweep_secs * calib, 1),
+    }
+
+
 def compare(
     baseline: dict[str, Any], current: dict[str, Any], tolerance: float
 ) -> list[str]:
@@ -162,13 +224,32 @@ def compare(
                 f"{cur_score:.1f} < floor {floor:.1f} "
                 f"(baseline {base_score:.1f}, tolerance {tolerance:.0%})"
             )
+
+    # Sweep wall-clock: lower is better, and parallel timing is noisier
+    # than the single-process microbench, so the tolerance doubles unless
+    # the baseline pins its own (``sweep_tolerance``).
+    base_sweep = baseline.get("sweep", {})
+    cur_sweep = current.get("sweep", {})
+    base_norm = float(base_sweep.get("normalized_sweep_secs", 0.0))
+    cur_norm = float(cur_sweep.get("normalized_sweep_secs", 0.0))
+    if base_norm > 0.0 and cur_norm > 0.0:
+        sweep_tol = float(baseline.get("sweep_tolerance", 2.0 * tolerance))
+        ceiling = base_norm * (1.0 + sweep_tol)
+        if cur_norm > ceiling:
+            failures.append(
+                "sweep regression: normalized sweep_secs "
+                f"{cur_norm:.1f} > ceiling {ceiling:.1f} "
+                f"(baseline {base_norm:.1f}, tolerance {sweep_tol:.0%})"
+            )
     return failures
 
 
-def _build_current(skip_speed: bool) -> dict[str, Any]:
+def _build_current(skip_speed: bool, skip_sweep: bool) -> dict[str, Any]:
     current: dict[str, Any] = {"digests": collect_digests()}
     if not skip_speed:
         current["speed"] = collect_speed()
+    if not (skip_speed or skip_sweep):
+        current["sweep"] = collect_sweep()
     return current
 
 
@@ -200,9 +281,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="check result digests only (no timing; fully deterministic)",
     )
+    parser.add_argument(
+        "--skip-sweep",
+        action="store_true",
+        help="skip the parallel-sweep wall-clock measurement only",
+    )
     args = parser.parse_args(argv)
 
-    current = _build_current(args.skip_speed)
+    current = _build_current(args.skip_speed, args.skip_sweep)
 
     if args.update:
         current["tolerance"] = args.tolerance if args.tolerance is not None else 0.20
@@ -228,6 +314,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.skip_speed:
         baseline = dict(baseline)
         baseline.pop("speed", None)
+        baseline.pop("sweep", None)
+    if args.skip_sweep:
+        baseline = dict(baseline)
+        baseline.pop("sweep", None)
 
     failures = compare(baseline, current, tolerance)
     if failures:
@@ -246,6 +336,14 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         print(f"perfguard OK: {n} digests match (speed check skipped)")
+    sweep = current.get("sweep")
+    if sweep is not None:
+        print(
+            f"perfguard OK: sweep {sweep['sweep_secs']:.2f}s "
+            f"({sweep['pairs']} pairs, -j{sweep['processes']}), normalized "
+            f"{sweep['normalized_sweep_secs']:.1f} vs baseline "
+            f"{baseline.get('sweep', {}).get('normalized_sweep_secs', 0.0):.1f}"
+        )
     return 0
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config.simulation import SimulationConfig
+from repro.trace.artifact import TraceArtifactCache, trace_cache_installed
 from repro.trace.profiles import BenchmarkProfile, get_profile
 from repro.trace.synthetic import SyntheticTrace, generate_trace
 from repro.trace.wrongpath import WrongPathSupplier
@@ -48,18 +49,36 @@ def _make_program(
     return ThreadProgram(profile, trace, WrongPathSupplier(profile, base, wp_seed))
 
 
-def build_programs(spec: WorkloadSpec, simcfg: SimulationConfig) -> list[ThreadProgram]:
-    """Thread programs for a Table 2(b) workload (slot order preserved)."""
+def build_programs(
+    spec: WorkloadSpec,
+    simcfg: SimulationConfig,
+    trace_cache: TraceArtifactCache | None = None,
+) -> list[ThreadProgram]:
+    """Thread programs for a Table 2(b) workload (slot order preserved).
+
+    ``trace_cache`` optionally backs trace generation with the persistent
+    artifact cache for the duration of the build: the six-policies-over-one-
+    workload sweep then pays each trace walk once per machine *ever*, not
+    once per process. Traces are keyed by (bench, length, base, seed,
+    instance), all of which this builder determines, so cached replay is
+    bit-identical to regeneration.
+    """
     instance_count: dict[str, int] = {}
     programs = []
-    for tid, bench in enumerate(spec.benchmarks):
-        instance = instance_count.get(bench, 0)
-        instance_count[bench] = instance + 1
-        programs.append(_make_program(bench, tid, instance, simcfg))
+    with trace_cache_installed(trace_cache):
+        for tid, bench in enumerate(spec.benchmarks):
+            instance = instance_count.get(bench, 0)
+            instance_count[bench] = instance + 1
+            programs.append(_make_program(bench, tid, instance, simcfg))
     return programs
 
 
-def build_single(bench: str, simcfg: SimulationConfig) -> list[ThreadProgram]:
+def build_single(
+    bench: str,
+    simcfg: SimulationConfig,
+    trace_cache: TraceArtifactCache | None = None,
+) -> list[ThreadProgram]:
     """A one-thread 'workload': the single-thread reference runs used for
     Table 2(a) and for the relative-IPC denominators (Hmean)."""
-    return [_make_program(bench, 0, 0, simcfg)]
+    with trace_cache_installed(trace_cache):
+        return [_make_program(bench, 0, 0, simcfg)]

@@ -1,12 +1,56 @@
-"""Tests for the process-pool sweep executor."""
+"""Tests for the process-pool sweep executor: scheduling, streaming
+completion, fault tolerance (worker death, failing pairs), the persisted
+cost model, and prefetch cache semantics."""
 
 from __future__ import annotations
 
+import json
+import os
+
+import pytest
 
 from repro.config import SimulationConfig
-from repro.experiments import ExperimentRunner, prefetch, run_pairs, sweep_pairs
+from repro.experiments import (
+    ExperimentRunner,
+    SweepCostModel,
+    SweepError,
+    prefetch,
+    run_pairs,
+    sweep_pairs,
+)
+from repro.experiments.parallel import _simulate_one
 
 TINY = SimulationConfig(warmup_cycles=100, measure_cycles=700, trace_length=4000, seed=3)
+
+_KILL_FLAG_ENV = "DWARN_TEST_KILL_FLAG"
+_KILL_PAIR_ENV = "DWARN_TEST_KILL_WL"
+
+
+def _killing_worker(machine, simcfg, workload, policy, trace_cache_dir=None):
+    """Worker that hard-kills its process (no exception, no cleanup — like
+    an OOM kill) the first time it sees the designated workload."""
+    flag = os.environ.get(_KILL_FLAG_ENV)
+    if flag and os.path.exists(flag) and workload == os.environ.get(_KILL_PAIR_ENV):
+        os.remove(flag)  # once only: the retry must succeed
+        os._exit(42)
+    return _simulate_one(machine, simcfg, workload, policy, trace_cache_dir)
+
+
+def _failing_worker(machine, simcfg, workload, policy, trace_cache_dir=None):
+    """Worker that deterministically raises for one (workload, policy)."""
+    if (workload, policy) == ("2-MIX", "dwarn"):
+        raise ValueError("injected failure")
+    return _simulate_one(machine, simcfg, workload, policy, trace_cache_dir)
+
+
+def _raise_once_worker(machine, simcfg, workload, policy, trace_cache_dir=None):
+    """Worker that raises (cleanly, unlike a kill) while the flag file
+    exists — a transient failure the bounded retry must absorb."""
+    flag = os.environ.get(_KILL_FLAG_ENV)
+    if flag and os.path.exists(flag) and workload == os.environ.get(_KILL_PAIR_ENV):
+        os.remove(flag)
+        raise RuntimeError("transient failure")
+    return _simulate_one(machine, simcfg, workload, policy, trace_cache_dir)
 
 
 class TestSweepPairs:
@@ -76,3 +120,200 @@ class TestPrefetch:
         r2 = ExperimentRunner("baseline", TINY, cache_dir=tmp_path / "b")
         direct = r2.run("2-MEM", "dwarn")
         assert via_pool.committed == direct.committed
+
+    def test_disk_hits_installed_into_memory_cache(self, tmp_path):
+        # A pair already on disk must be parsed once and *kept* (the old
+        # code parsed it in the skip-check, discarded it, and re-parsed on
+        # every later runner.run).
+        r1 = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
+        r1.run("2-ILP", "icount")
+        r2 = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
+        executed = prefetch(r2, [("2-ILP", "icount")], processes=2)
+        assert executed == 0
+        key = r2._key("2-ILP", "icount")
+        assert key in r2._mem_cache
+        assert r2._mem_cache[key].committed == r1.run("2-ILP", "icount").committed
+
+    def test_prefetch_with_trace_cache_matches(self, tmp_path):
+        from repro.trace import clear_trace_cache
+
+        # Forked workers inherit this process's in-memory trace memo; clear
+        # it so the workers actually exercise the generate-and-persist path.
+        clear_trace_cache()
+        r1 = ExperimentRunner(
+            "baseline", TINY, cache_dir=tmp_path / "a",
+            trace_cache_dir=tmp_path / "traces",
+        )
+        prefetch(r1, [("2-MEM", "dwarn")], processes=2)
+        r2 = ExperimentRunner("baseline", TINY, cache_dir=tmp_path / "b")
+        assert r1.run("2-MEM", "dwarn").committed == r2.run("2-MEM", "dwarn").committed
+        # Workers persisted their generated traces for the next sweep.
+        assert r1.trace_cache.stats()["entries"] > 0
+
+    def test_seed_sweep_feeds_run_multi(self, tmp_path):
+        from repro.experiments import prefetch_seed_sweep
+
+        seeds = (111, 222)
+        runner = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
+        n = prefetch_seed_sweep(
+            runner, [("2-ILP", "icount")], seeds, processes=2
+        )
+        assert n == len(seeds)
+        before = runner.simulations_run
+        multi = runner.run_multi("2-ILP", "icount", seeds)  # all cache hits
+        assert runner.simulations_run == before
+        assert len(multi.throughputs) == len(seeds)
+        # Parity with an uncached runner, per seed.
+        fresh = ExperimentRunner("baseline", TINY, cache_dir=tmp_path / "fresh")
+        ref = fresh.run_multi("2-ILP", "icount", seeds)
+        assert multi.throughputs == ref.throughputs
+
+    def test_progress_callback_streams(self, tmp_path):
+        runner = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
+        seen = []
+        prefetch(
+            runner,
+            [("2-ILP", "icount"), ("2-ILP", "dwarn"), ("gzip", "icount")],
+            processes=2,
+            progress=lambda done, total, wl, pol, secs: seen.append((done, total)),
+        )
+        assert [d for d, _ in seen] == [1, 2, 3]
+        assert all(t == 3 for _, t in seen)
+
+    def test_records_costs_for_later_sweeps(self, tmp_path):
+        runner = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
+        prefetch(runner, [("2-ILP", "icount"), ("gzip", "icount")], processes=2)
+        model = SweepCostModel.for_cache_dir(tmp_path)
+        assert len(model) == 2
+        measured = model.estimate("baseline", TINY, "2-ILP", "icount")
+        assert 0.0 < measured < SweepCostModel.fallback(TINY, "2-ILP")
+
+
+class TestFaultTolerance:
+    def test_worker_death_is_retried(self, tmp_path, monkeypatch):
+        """Kill one worker process mid-sweep (os._exit, as an OOM killer
+        would): the pool is rebuilt, the pair re-queued, and the sweep still
+        completes with correct results."""
+        flag = tmp_path / "kill-once"
+        flag.touch()
+        monkeypatch.setenv(_KILL_FLAG_ENV, str(flag))
+        monkeypatch.setenv(_KILL_PAIR_ENV, "2-MIX")
+        runner = ExperimentRunner("baseline", TINY)
+        pairs = [("2-ILP", "icount"), ("2-MIX", "dwarn"), ("gzip", "icount")]
+        out = run_pairs(runner.machine, TINY, pairs, processes=2, worker=_killing_worker)
+        assert not flag.exists()  # the kill really fired
+        got = {(w, p): r.committed for w, p, r in out}
+        ref = {
+            (w, p): r.committed
+            for w, p, r in run_pairs(runner.machine, TINY, pairs, processes=1)
+        }
+        assert got == ref
+
+    def test_failing_pair_is_named(self, tmp_path):
+        runner = ExperimentRunner("baseline", TINY)
+        pairs = [("2-ILP", "icount"), ("2-MIX", "dwarn"), ("gzip", "icount")]
+        with pytest.raises(SweepError) as exc_info:
+            run_pairs(runner.machine, TINY, pairs, processes=2, worker=_failing_worker)
+        err = exc_info.value
+        assert (err.workload, err.policy) == ("2-MIX", "dwarn")
+        assert "2-MIX" in str(err) and "dwarn" in str(err)
+
+    def test_failing_pair_serial_path(self):
+        runner = ExperimentRunner("baseline", TINY)
+        with pytest.raises(SweepError) as exc_info:
+            run_pairs(
+                runner.machine, TINY, [("2-MIX", "dwarn")], processes=1,
+                worker=_failing_worker,
+            )
+        assert exc_info.value.workload == "2-MIX"
+
+    def test_transient_exception_is_retried(self, tmp_path, monkeypatch):
+        # The worker raises exactly once: with the default retries=1 the
+        # re-queued attempt succeeds and the sweep completes.
+        flag = tmp_path / "raise-once"
+        flag.touch()
+        monkeypatch.setenv(_KILL_FLAG_ENV, str(flag))
+        monkeypatch.setenv(_KILL_PAIR_ENV, "gzip")
+        runner = ExperimentRunner("baseline", TINY)
+        out = run_pairs(
+            runner.machine, TINY, [("gzip", "icount")], processes=2,
+            worker=_raise_once_worker,
+        )
+        assert not flag.exists()
+        assert len(out) == 1 and out[0][2].throughput > 0
+
+
+class TestCostModel:
+    def test_fallback_scales_with_threads(self):
+        assert SweepCostModel.fallback(TINY, "8-MEM") == 8 * TINY.trace_length
+        assert SweepCostModel.fallback(TINY, "2-ILP") == 2 * TINY.trace_length
+        assert SweepCostModel.fallback(TINY, "gzip") == 1 * TINY.trace_length
+
+    def test_record_save_load_roundtrip(self, tmp_path):
+        model = SweepCostModel.for_cache_dir(tmp_path)
+        model.record("baseline", TINY, "4-MIX", "dwarn", 2.5)
+        model.save()
+        reloaded = SweepCostModel.for_cache_dir(tmp_path)
+        assert reloaded.estimate("baseline", TINY, "4-MIX", "dwarn") == 2.5
+
+    def test_record_uses_ema(self, tmp_path):
+        model = SweepCostModel(None)
+        model.record("baseline", TINY, "4-MIX", "dwarn", 2.0)
+        model.record("baseline", TINY, "4-MIX", "dwarn", 4.0)
+        assert model.estimate("baseline", TINY, "4-MIX", "dwarn") == 3.0
+
+    def test_key_distinguishes_scale_and_machine(self, tmp_path):
+        model = SweepCostModel(None)
+        model.record("baseline", TINY, "4-MIX", "dwarn", 2.0)
+        other_scale = SimulationConfig(
+            warmup_cycles=100, measure_cycles=9000, trace_length=4000, seed=3
+        )
+        assert model.estimate("small", TINY, "4-MIX", "dwarn") == SweepCostModel.fallback(
+            TINY, "4-MIX"
+        )
+        assert model.estimate(
+            "baseline", other_scale, "4-MIX", "dwarn"
+        ) == SweepCostModel.fallback(other_scale, "4-MIX")
+
+    def test_corrupt_model_file_starts_fresh(self, tmp_path):
+        path = tmp_path / SweepCostModel.FILENAME
+        path.write_text("{broken json")
+        model = SweepCostModel(path)
+        assert len(model) == 0
+        model.record("baseline", TINY, "gzip", "icount", 1.0)
+        model.save()
+        assert json.loads(path.read_text())["version"] == 1
+
+    def test_longest_job_first_dispatch(self, tmp_path):
+        # Seed measured costs that *invert* the fallback ordering, then watch
+        # the serial scheduler (deterministic dispatch order) follow them.
+        model = SweepCostModel(None)
+        model.record("baseline", TINY, "gzip", "icount", 30.0)
+        model.record("baseline", TINY, "2-ILP", "icount", 10.0)
+        model.record("baseline", TINY, "2-MIX", "icount", 20.0)
+        runner = ExperimentRunner("baseline", TINY)
+        started: list[str] = []
+        run_pairs(
+            runner.machine, TINY,
+            [("2-ILP", "icount"), ("gzip", "icount"), ("2-MIX", "icount")],
+            processes=1,
+            cost_model=model,
+            progress=lambda done, total, wl, pol, secs: started.append(wl),
+        )
+        assert started == ["gzip", "2-MIX", "2-ILP"]
+
+    def test_unknown_pairs_scheduled_before_measured(self, tmp_path):
+        # Fallback costs (work units) dwarf measured seconds by construction:
+        # never-measured pairs run first, which is the conservative LJF bet.
+        model = SweepCostModel(None)
+        model.record("baseline", TINY, "gzip", "icount", 30.0)
+        runner = ExperimentRunner("baseline", TINY)
+        started: list[str] = []
+        run_pairs(
+            runner.machine, TINY,
+            [("gzip", "icount"), ("2-ILP", "icount")],
+            processes=1,
+            cost_model=model,
+            progress=lambda done, total, wl, pol, secs: started.append(wl),
+        )
+        assert started == ["2-ILP", "gzip"]

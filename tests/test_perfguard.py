@@ -1,0 +1,66 @@
+"""Unit tests for the perfguard comparison logic (pure, no timing).
+
+The expensive collection paths (digests, speed, sweep) run in CI's
+perf-smoke job; here we pin the *decision* logic: what counts as digest
+drift, a speed regression, and a sweep regression.
+"""
+
+from __future__ import annotations
+
+from repro.utils.perfguard import compare
+
+
+def _base(**overrides):
+    data = {
+        "digests": {"4-MIX/dwarn": {"cycles": 1500, "committed": [10, 20]}},
+        "speed": {"normalized_score": 100.0},
+        "sweep": {"normalized_sweep_secs": 50.0},
+    }
+    data.update(overrides)
+    return data
+
+
+class TestCompareSweep:
+    def test_identical_passes(self):
+        assert compare(_base(), _base(), tolerance=0.20) == []
+
+    def test_sweep_within_tolerance_passes(self):
+        cur = _base(sweep={"normalized_sweep_secs": 50.0 * 1.35})
+        assert compare(_base(), cur, tolerance=0.20) == []  # 2x tol = 40%
+
+    def test_sweep_regression_fails(self):
+        cur = _base(sweep={"normalized_sweep_secs": 50.0 * 1.5})
+        failures = compare(_base(), cur, tolerance=0.20)
+        assert len(failures) == 1
+        assert "sweep regression" in failures[0]
+
+    def test_sweep_improvement_passes(self):
+        cur = _base(sweep={"normalized_sweep_secs": 10.0})
+        assert compare(_base(), cur, tolerance=0.20) == []
+
+    def test_baseline_sweep_tolerance_override(self):
+        base = _base(sweep_tolerance=0.05)
+        cur = _base(sweep={"normalized_sweep_secs": 50.0 * 1.2})
+        failures = compare(base, cur, tolerance=0.20)
+        assert len(failures) == 1 and "5%" in failures[0]
+
+    def test_missing_sweep_sections_are_ignored(self):
+        # Old baselines (no sweep) and --skip-sweep runs must not fail.
+        base_no_sweep = _base()
+        del base_no_sweep["sweep"]
+        assert compare(base_no_sweep, _base(), tolerance=0.20) == []
+        cur_no_sweep = _base()
+        del cur_no_sweep["sweep"]
+        assert compare(_base(), cur_no_sweep, tolerance=0.20) == []
+
+
+class TestCompareExisting:
+    def test_digest_drift_fails(self):
+        cur = _base(digests={"4-MIX/dwarn": {"cycles": 1501, "committed": [10, 20]}})
+        failures = compare(_base(), cur, tolerance=0.20)
+        assert len(failures) == 1 and "digest drift" in failures[0]
+
+    def test_speed_regression_fails(self):
+        cur = _base(speed={"normalized_score": 70.0})
+        failures = compare(_base(), cur, tolerance=0.20)
+        assert len(failures) == 1 and "speed regression" in failures[0]

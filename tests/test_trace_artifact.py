@@ -1,0 +1,233 @@
+"""Tests for the persistent binary trace-artifact cache.
+
+The contract under test: a trace loaded from a binary artifact is
+*bit-identical* to a freshly generated one (field by field, and through a
+full simulation), and every failure mode — corruption, truncation, key
+mismatch, concurrent writers — degrades to regeneration, never to wrong
+results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import ExperimentRunner
+from repro.trace import (
+    SyntheticTrace,
+    TraceArtifactCache,
+    clear_trace_cache,
+    generate_trace,
+    get_profile,
+    trace_cache_installed,
+)
+
+_FIELDS = ("pc", "op", "dest", "src1", "src2", "addr", "brkind", "taken", "target")
+_KEY = dict(length=4000, base=1 << 30, seed=777, instance=0)
+
+
+def _fresh(bench: str = "mcf", **overrides) -> SyntheticTrace:
+    kw = {**_KEY, **overrides}
+    return SyntheticTrace(get_profile(bench), kw["length"], kw["base"], kw["seed"], kw["instance"])
+
+
+def _assert_traces_equal(a: SyntheticTrace, b: SyntheticTrace) -> None:
+    for field in _FIELDS:
+        assert getattr(a, field) == getattr(b, field), field
+    assert a.rec == b.rec
+    # Static products the simulator reads besides the record arrays.
+    assert a.layout.code_base == b.layout.code_base
+    assert a.layout.footprint_bytes == b.layout.footprint_bytes
+    assert a.aspace.l1_resident_lines() == b.aspace.l1_resident_lines()
+    assert a.aspace.l2_resident_lines() == b.aspace.l2_resident_lines()
+
+
+class TestRoundTrip:
+    def test_loaded_equals_generated_field_by_field(self, tmp_path):
+        cache = TraceArtifactCache(tmp_path)
+        fresh = _fresh()
+        cache.store(fresh)
+        loaded = cache.load(get_profile("mcf"), **_KEY)
+        assert loaded is not None
+        _assert_traces_equal(fresh, loaded)
+
+    def test_taken_roundtrips_as_bool(self, tmp_path):
+        cache = TraceArtifactCache(tmp_path)
+        cache.store(_fresh())
+        loaded = cache.load(get_profile("mcf"), **_KEY)
+        assert all(isinstance(t, bool) for t in loaded.taken)
+
+    def test_key_mismatch_returns_none(self, tmp_path):
+        cache = TraceArtifactCache(tmp_path)
+        cache.store(_fresh())
+        assert cache.load(get_profile("mcf"), 4000, 1 << 30, 778, 0) is None
+        assert cache.load(get_profile("gzip"), **_KEY) is None
+
+    def test_mismatched_header_fields_rejected(self, tmp_path):
+        # A valid artifact for a *different* seed copied onto this key's
+        # path (stale file moved by hand): header validation must reject it.
+        cache = TraceArtifactCache(tmp_path)
+        path = cache.store(_fresh())
+        imposter_path = TraceArtifactCache(tmp_path / "other").store(_fresh(seed=999))
+        path.write_bytes(imposter_path.read_bytes())
+        assert cache.load(get_profile("mcf"), **_KEY) is None
+
+
+class TestCorruption:
+    @pytest.mark.parametrize("mutation", ["truncate", "garbage", "flip", "empty"])
+    def test_corrupt_artifact_falls_back(self, tmp_path, mutation):
+        cache = TraceArtifactCache(tmp_path)
+        path = cache.store(_fresh())
+        data = path.read_bytes()
+        if mutation == "truncate":
+            path.write_bytes(data[: len(data) // 3])
+        elif mutation == "garbage":
+            path.write_bytes(b"not a trace artifact")
+        elif mutation == "flip":
+            corrupted = bytearray(data)
+            corrupted[len(corrupted) // 2] ^= 0xFF
+            path.write_bytes(bytes(corrupted))
+        else:
+            path.write_bytes(b"")
+        assert cache.load(get_profile("mcf"), **_KEY) is None
+        assert cache.rejected == 1
+        assert not path.exists()  # dropped so the rewrite starts clean
+
+    def test_generate_trace_regenerates_and_rewrites(self, tmp_path):
+        cache = TraceArtifactCache(tmp_path)
+        profile = get_profile("mcf")
+        clear_trace_cache()
+        with trace_cache_installed(cache):
+            first = generate_trace(profile, **_KEY)
+            path = cache.path_for(profile, **_KEY)
+            assert path.exists()
+            path.write_bytes(path.read_bytes()[:100])  # truncate
+            clear_trace_cache()
+            second = generate_trace(profile, **_KEY)
+        clear_trace_cache()
+        _assert_traces_equal(first, second)
+        assert path.exists()  # rewritten after the corrupt read
+        assert cache.load(profile, **_KEY) is not None
+
+
+class TestGenerateTraceIntegration:
+    def test_miss_stores_then_disk_hit(self, tmp_path):
+        cache = TraceArtifactCache(tmp_path)
+        profile = get_profile("twolf")
+        clear_trace_cache()
+        with trace_cache_installed(cache):
+            generated = generate_trace(profile, **_KEY)
+            assert cache.stores == 1
+            clear_trace_cache()  # force the memo miss -> disk path
+            loaded = generate_trace(profile, **_KEY)
+            assert cache.disk_hits == 1
+        clear_trace_cache()
+        assert loaded is not generated
+        _assert_traces_equal(generated, loaded)
+
+    def test_none_cache_scope_is_noop(self):
+        clear_trace_cache()
+        with trace_cache_installed(None):
+            t = generate_trace(get_profile("gzip"), 2000, 0, 5, 0)
+        assert len(t) == 2000
+        clear_trace_cache()
+
+
+class TestSimulationParity:
+    def test_cached_trace_simulation_is_bit_identical(self, tmp_path):
+        """Acceptance gate: a simulation fed a cache-loaded trace must equal
+        one fed a freshly generated trace, cycle for cycle."""
+        simcfg = SimulationConfig(
+            warmup_cycles=200, measure_cycles=1200, trace_length=5000, seed=777
+        )
+        fresh_runner = ExperimentRunner("baseline", simcfg)
+        fresh = fresh_runner.run("2-MEM", "dwarn")
+
+        clear_trace_cache()
+        warm_runner = ExperimentRunner(
+            "baseline", simcfg, trace_cache_dir=tmp_path / "traces"
+        )
+        first = warm_runner.run("2-MEM", "dwarn")  # generates + persists
+        clear_trace_cache()
+        warm_runner._mem_cache.clear()
+        second = warm_runner.run("2-MEM", "dwarn")  # traces loaded from disk
+        clear_trace_cache()
+
+        assert warm_runner.trace_cache.disk_hits > 0
+        for res in (first, second):
+            assert res.cycles == fresh.cycles
+            assert res.committed == fresh.committed
+            assert res.ipc == fresh.ipc
+
+
+class TestConcurrency:
+    def test_two_process_store_race_leaves_valid_file(self, tmp_path):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futs = [
+                pool.submit(_store_repeatedly, str(tmp_path), 25) for _ in range(2)
+            ]
+            assert all(f.result() for f in futs)
+        cache = TraceArtifactCache(tmp_path)
+        loaded = cache.load(get_profile("gzip"), 3000, 0, 5, 0)
+        assert loaded is not None
+        _assert_traces_equal(SyntheticTrace(get_profile("gzip"), 3000, 0, 5, 0), loaded)
+        assert cache.stats()["entries"] == 1
+        assert not list(tmp_path.glob("*.tmp-*"))  # no stray temp files
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, tmp_path):
+        cache = TraceArtifactCache(tmp_path)
+        cache.store(_fresh("gzip"))
+        cache.store(_fresh("mcf"))
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] > 0
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+        assert cache.clear() == 0  # idempotent on an empty directory
+
+    def test_stats_on_missing_directory(self, tmp_path):
+        cache = TraceArtifactCache(tmp_path / "never-created")
+        assert cache.stats()["entries"] == 0
+        assert cache.clear() == 0
+
+
+def _store_repeatedly(directory: str, n: int) -> bool:
+    """Worker for the write-race test: hammer one artifact path."""
+    trace = SyntheticTrace(get_profile("gzip"), 3000, 0, 5, 0)
+    cache = TraceArtifactCache(directory)
+    for _ in range(n):
+        cache.store(trace)
+    return True
+
+
+class TestCLICacheCommand:
+    def test_stats_and_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = TraceArtifactCache(tmp_path / "traces")
+        cache.store(_fresh("gzip"))
+        (tmp_path / "results").mkdir()
+        (tmp_path / "results" / "fake-result.json").write_text("{}")
+
+        rc = main([
+            "cache", "stats",
+            "--cache-dir", str(tmp_path / "results"),
+            "--trace-cache", str(tmp_path / "traces"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traces" in out and "results" in out
+
+        rc = main([
+            "cache", "clear",
+            "--cache-dir", str(tmp_path / "results"),
+            "--trace-cache", str(tmp_path / "traces"),
+        ])
+        assert rc == 0
+        assert "removed 1 cached results, 1 trace artifacts" in capsys.readouterr().out
+        assert cache.stats()["entries"] == 0
+        assert not list((tmp_path / "results").glob("*.json"))
