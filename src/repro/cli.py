@@ -4,16 +4,24 @@ Subcommands::
 
     dwarn-sim run 4-MIX --policy dwarn         # one simulation, summary out
     dwarn-sim compare 4-MIX                    # all six policies side by side
+    dwarn-sim trace-run 4-MIX -o iv.jsonl      # instrumented run: interval metrics
+    dwarn-sim explain 2-MEM --policy dwarn     # why each thread got its priority
     dwarn-sim table2a                          # one experiment by name
     dwarn-sim report -o EXPERIMENTS.md -j 8    # the full paper-vs-measured report
     dwarn-sim cache stats                      # result/trace cache footprint
     dwarn-sim cache clear                      # wipe both caches
     dwarn-sim list                             # workloads/policies/machines
+
+The trace-artifact cache directory resolves with CLI > environment >
+default precedence: an explicit ``--trace-cache DIR`` wins, else
+``$DWARN_SIM_TRACE_CACHE``, else ``.cache/traces``
+(:func:`resolve_trace_cache_dir`; ``cache stats`` reports which source won).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -30,7 +38,29 @@ from repro.config import PRESETS
 from repro.experiments import ALL_EXPERIMENTS, ExperimentRunner, generate_report
 from repro.metrics.reporting import format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "resolve_trace_cache_dir"]
+
+#: Environment override for the trace-artifact cache directory.
+TRACE_CACHE_ENV = "DWARN_SIM_TRACE_CACHE"
+#: Fallback trace-artifact cache directory.
+DEFAULT_TRACE_CACHE = ".cache/traces"
+
+
+def resolve_trace_cache_dir(cli_value: str | None) -> tuple[str, str]:
+    """Resolve the trace-artifact cache directory and where it came from.
+
+    Precedence: explicit ``--trace-cache`` > ``$DWARN_SIM_TRACE_CACHE`` >
+    the default. Returns ``(directory, source)`` where ``source`` is
+    ``"command line"``, ``"$DWARN_SIM_TRACE_CACHE"`` or ``"default"`` —
+    ``dwarn-sim cache stats`` prints both, so the directory it reports is
+    always the one the other subcommands would actually use.
+    """
+    if cli_value is not None:
+        return cli_value, "command line"
+    env = os.environ.get(TRACE_CACHE_ENV)
+    if env:
+        return env, f"${TRACE_CACHE_ENV}"
+    return DEFAULT_TRACE_CACHE, "default"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +83,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="all six paper policies on one workload")
     p_cmp.add_argument("workload")
 
+    p_tr = sub.add_parser(
+        "trace-run",
+        help="one instrumented simulation: interval metrics (+ event trace)",
+    )
+    p_tr.add_argument("workload")
+    p_tr.add_argument("--policy", default="dwarn", choices=sorted(POLICIES))
+    p_tr.add_argument(
+        "--window", type=int, default=256,
+        help="interval window in cycles (default: 256)",
+    )
+    p_tr.add_argument(
+        "-o", "--output", default="intervals.jsonl",
+        help="interval-metrics output path (.jsonl or .csv; default: intervals.jsonl)",
+    )
+    p_tr.add_argument(
+        "--format", choices=("jsonl", "csv"), default=None,
+        help="output format (default: inferred from the -o suffix)",
+    )
+    p_tr.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="also record the pipeline event trace and write it as JSONL",
+    )
+    p_tr.add_argument(
+        "--event-capacity", type=int, default=8192,
+        help="event ring-buffer capacity (default: 8192; oldest events drop)",
+    )
+
+    p_ex = sub.add_parser(
+        "explain", help="record why each thread got its fetch priority"
+    )
+    p_ex.add_argument("workload")
+    p_ex.add_argument("--policy", default="dwarn", choices=sorted(POLICIES))
+    p_ex.add_argument(
+        "--last", type=int, default=20,
+        help="how many of the newest decisions to print (default: 20)",
+    )
+    p_ex.add_argument(
+        "--capacity", type=int, default=4096,
+        help="decision ring-buffer capacity (default: 4096)",
+    )
+    p_ex.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="also write the retained decisions as JSONL",
+    )
+
     for module, desc in ALL_EXPERIMENTS:
         p_exp = sub.add_parser(module.NAME, help=desc)
         p_exp.set_defaults(experiment=module)
@@ -65,12 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the simulation sweeps",
     )
     p_rep.add_argument(
-        "--trace-cache", default=".cache/traces", metavar="DIR",
-        help="persistent trace-artifact directory (default: .cache/traces)",
+        "--trace-cache", default=None, metavar="DIR",
+        help="persistent trace-artifact directory "
+        f"(default: $DWARN_SIM_TRACE_CACHE, else {DEFAULT_TRACE_CACHE})",
     )
     p_rep.add_argument(
         "--no-trace-cache", action="store_true",
         help="regenerate every trace instead of using the artifact cache",
+    )
+    p_rep.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="write a sweep-observability manifest (per-pair timing/retries/"
+        "cache hits) as JSON",
     )
 
     p_cache = sub.add_parser(
@@ -82,8 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation-result cache directory (default: .cache)",
     )
     p_cache.add_argument(
-        "--trace-cache", default=".cache/traces", metavar="DIR",
-        help="trace-artifact cache directory (default: .cache/traces)",
+        "--trace-cache", default=None, metavar="DIR",
+        help="trace-artifact cache directory "
+        f"(default: $DWARN_SIM_TRACE_CACHE, else {DEFAULT_TRACE_CACHE})",
     )
 
     sub.add_parser("list", help="available workloads, policies and machines")
@@ -107,7 +189,8 @@ def _cache_command(args: argparse.Namespace) -> int:
 
     result_dir = Path(args.cache_dir)
     cost_path = result_dir / SweepCostModel.FILENAME
-    trace_cache = TraceArtifactCache(args.trace_cache)
+    trace_dir, trace_src = resolve_trace_cache_dir(args.trace_cache)
+    trace_cache = TraceArtifactCache(trace_dir)
     result_files = (
         [f for f in sorted(result_dir.glob("*.json")) if f != cost_path]
         if result_dir.is_dir()
@@ -127,6 +210,7 @@ def _cache_command(args: argparse.Namespace) -> int:
         ]
         print(format_table(["cache", "directory", "entries", "bytes"],
                            rows, title="dwarn-sim caches"))
+        print(f"  trace-cache directory from {trace_src}")
         n_costs = len(SweepCostModel(cost_path)) if cost_path.exists() else 0
         print(f"  cost model: {n_costs} measured pair costs ({cost_path})")
         mem = trace_cache_stats()
@@ -143,6 +227,74 @@ def _cache_command(args: argparse.Namespace) -> int:
         removed_results += 1
     cost_path.unlink(missing_ok=True)
     print(f"removed {removed_results} cached results, {removed_traces} trace artifacts")
+    return 0
+
+
+def _trace_run_command(args: argparse.Namespace, simcfg: SimulationConfig) -> int:
+    """``dwarn-sim trace-run``: one instrumented simulation.
+
+    Writes interval metrics (JSONL or CSV), optionally the pipeline event
+    trace, and exits nonzero if the per-interval counters fail to reconcile
+    exactly with the final result totals.
+    """
+    from repro.obs import ObservabilityHub, reconcile, write_csv, write_jsonl
+
+    runner = ExperimentRunner(args.machine, simcfg)
+    hub = ObservabilityHub(
+        window=args.window,
+        trace=args.events is not None,
+        trace_capacity=args.event_capacity,
+    )
+    res = runner.run_instrumented(args.workload, args.policy, hub)
+    records = hub.interval.records
+    fmt = args.format or ("csv" if args.output.endswith(".csv") else "jsonl")
+    writer = write_csv if fmt == "csv" else write_jsonl
+    path = writer(records, args.output)
+    measured = hub.interval.measured_records()
+    print(
+        f"wrote {len(records)} intervals ({len(measured)} in the measurement "
+        f"window, window={args.window} cycles) to {path}"
+    )
+    if args.events is not None:
+        tracer = hub.tracer
+        epath = tracer.to_jsonl(args.events)
+        print(
+            f"wrote {len(tracer.events)} events to {epath} "
+            f"({tracer.dropped} dropped, ring capacity {tracer.capacity})"
+        )
+    problems = reconcile(records, res)
+    if problems:
+        print("reconciliation FAILED:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(
+        f"reconciliation OK: intervals sum exactly to result totals "
+        f"(throughput {res.throughput:.3f})"
+    )
+    return 0
+
+
+def _explain_command(args: argparse.Namespace, simcfg: SimulationConfig) -> int:
+    """``dwarn-sim explain``: record and print fetch-priority decisions."""
+    from repro.obs import ObservabilityHub
+
+    runner = ExperimentRunner(args.machine, simcfg)
+    hub = ObservabilityHub(
+        explain=True, explain_capacity=args.capacity
+    )
+    res = runner.run_instrumented(args.workload, args.policy, hub)
+    rec = hub.explain
+    print(
+        f"{args.workload} under {args.policy}: {rec.recorded} fetch decisions "
+        f"recorded ({len(rec.decisions)} retained); newest {args.last}:"
+    )
+    print(rec.render(last=args.last))
+    print(f"final throughput {res.throughput:.3f} (IPC: "
+          + ", ".join(f"{x:.3f}" for x in res.ipc) + ")")
+    if args.output is not None:
+        path = rec.to_jsonl(args.output)
+        print(f"wrote {len(rec.decisions)} decisions to {path}")
     return 0
 
 
@@ -163,6 +315,12 @@ def main(argv: list[str] | None = None) -> int:
         print(res.summary())
         return 0
 
+    if args.command == "trace-run":
+        return _trace_run_command(args, simcfg)
+
+    if args.command == "explain":
+        return _explain_command(args, simcfg)
+
     if args.command == "compare":
         rows = []
         for pol in PAPER_POLICIES:
@@ -177,13 +335,19 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "report":
+        trace_dir, _ = resolve_trace_cache_dir(args.trace_cache)
         runner = ExperimentRunner(
             args.machine,
             simcfg,
             cache_dir=args.cache_dir,
             verbose=True,
-            trace_cache_dir=None if args.no_trace_cache else args.trace_cache,
+            trace_cache_dir=None if args.no_trace_cache else trace_dir,
         )
+        manifest = None
+        if args.manifest is not None:
+            from repro.obs import RunManifest
+
+            manifest = RunManifest(label="report")
         if args.parallel > 1:
             from repro.experiments import (
                 ext_seeds,
@@ -206,6 +370,8 @@ def main(argv: list[str] | None = None) -> int:
                     sweep_pairs(sub_runner, PAPER_POLICIES),
                     args.parallel,
                     progress=progress,
+                    manifest=manifest,
+                    sweep=machine,
                 )
                 print(
                     f"[prefetch] {machine}: {n} simulations "
@@ -225,6 +391,7 @@ def main(argv: list[str] | None = None) -> int:
                 ext_seeds.SEEDS,
                 args.parallel,
                 progress=seed_progress,
+                manifest=manifest,
             )
             print(
                 f"[prefetch] seed sweep: {n} simulations "
@@ -239,6 +406,11 @@ def main(argv: list[str] | None = None) -> int:
                 f"({s['total_bytes'] / 1e6:.1f} MB), "
                 f"{s['disk_hits']} loads, {s['stores']} stores this run"
             )
+        if manifest is not None:
+            manifest.extras["report"] = str(path)
+            mpath = manifest.write_json(args.manifest)
+            print(manifest.render())
+            print(f"wrote {mpath}")
         print(f"wrote {path}")
         return 0
 

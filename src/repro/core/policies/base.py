@@ -91,6 +91,52 @@ class FetchPolicy:
         keyed.sort()
         return [k & 0xFFFF for k in keyed]
 
+    # -- explainability ---------------------------------------------------------
+
+    def explain_decision(self, order: list[int] | None = None) -> list[dict]:
+        """Describe the current fetch decision, one dict per hardware
+        context in tid order (the ``repro.obs.ExplainRecorder`` payload).
+
+        Base fields: ``tid``; ``rank`` (position in the priority order, or
+        None when the thread was omitted/gated); ``icount``; ``dmiss``;
+        ``gated`` (held out by a counted gate); ``reason`` (short free-text
+        note). Subclasses override :meth:`explain_thread` to replace the
+        reason and add policy-specific fields — the base fields are stable
+        schema, the extras are policy-defined.
+        """
+        if order is None:
+            order = self.fetch_order()
+        rank = {tid: i for i, tid in enumerate(order)}
+        gc = getattr(self, "_gate_count", None)
+        out = []
+        for tc in self.sim.threads:
+            tid = tc.tid
+            info = {
+                "tid": tid,
+                "rank": rank.get(tid),
+                "icount": tc.icount,
+                "dmiss": tc.dmiss,
+                "gated": bool(gc[tid]) if gc is not None else False,
+                "reason": "",
+            }
+            self.explain_thread(info, tc)
+            out.append(info)
+        return out
+
+    def explain_thread(self, info: dict, tc) -> None:
+        """Annotate one thread's decision dict (see :meth:`explain_decision`).
+
+        The default reason states the ICOUNT ordering; policies with richer
+        decision inputs (DWarn's groups, DG's threshold, DC-PRED's
+        predictions) override this.
+        """
+        if info["gated"]:
+            info["reason"] = "fetch-gated"
+        elif info["rank"] is None:
+            info["reason"] = "omitted from order"
+        else:
+            info["reason"] = f"icount={info['icount']}"
+
     # -- event hooks (no-ops by default) ---------------------------------------
 
     def on_l1d_miss(self, i: DynInstr) -> None:

@@ -54,6 +54,24 @@ class DCPredPolicy(FetchPolicy):
         ]
         return self.icount_order(eligible)
 
+    def explain_thread(self, info: dict, tc) -> None:
+        """Add DC-PRED's inputs: flagged-load count and the resource cap."""
+        flagged = self._flagged[tc.tid]
+        info["flagged"] = flagged
+        info["inflight"] = tc.inflight
+        if flagged and tc.inflight >= self.resource_cap:
+            info["reason"] = (
+                f"resource-capped ({flagged} flagged loads, "
+                f"inflight={tc.inflight}>={self.resource_cap})"
+            )
+        elif flagged:
+            info["reason"] = (
+                f"{flagged} flagged loads, under cap "
+                f"(inflight={tc.inflight}<{self.resource_cap})"
+            )
+        else:
+            info["reason"] = f"no flagged loads, icount={tc.icount}"
+
     # -- per-load protocol (mirrors PDG's, but predicting L2 misses) ----------
 
     def on_load_fetched(self, i: DynInstr) -> None:

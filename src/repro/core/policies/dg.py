@@ -38,3 +38,12 @@ class DataGatingPolicy(FetchPolicy):
         threads = self.sim.threads
         eligible = [t for t in range(self.sim.num_threads) if threads[t].dmiss < thr]
         return self.icount_order(eligible)
+
+    def explain_thread(self, info: dict, tc) -> None:
+        """DG's one input: the in-flight L1-miss counter vs the threshold."""
+        if tc.dmiss >= self.threshold:
+            info["reason"] = (
+                f"data-gated (dmiss={tc.dmiss}>={self.threshold})"
+            )
+        else:
+            info["reason"] = f"eligible, icount={tc.icount}"

@@ -99,6 +99,21 @@ class DWarnPolicy(GatingMixin, FetchPolicy):
         keyed.sort()
         return [k & 0xFFFF for k in keyed]
 
+    def explain_thread(self, info: dict, tc) -> None:
+        """Add DWarn's decision inputs: group membership and hybrid state."""
+        group = "dmiss" if tc.dmiss >= self.dmiss_threshold else "normal"
+        info["group"] = group
+        info["hybrid_active"] = self._hybrid_active
+        if info["gated"]:
+            info["reason"] = "hybrid L2-miss gate until fill"
+        elif group == "dmiss":
+            info["reason"] = (
+                f"Dmiss group (dmiss={tc.dmiss}>={self.dmiss_threshold}), "
+                f"icount={tc.icount}"
+            )
+        else:
+            info["reason"] = f"Normal group, icount={tc.icount}"
+
     def on_l2_miss(self, i: DynInstr) -> None:
         """Hybrid RA: gate when the load *really* misses in L2.
 

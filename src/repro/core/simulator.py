@@ -19,6 +19,23 @@ Hot-loop style note: this module deliberately binds instance attributes to
 locals inside the per-cycle methods and uses plain tuples/ints for events —
 per the hpc-parallel guide, attribute lookups and allocation are what
 dominate interpreted simulator loops.
+
+Execution paths. :meth:`run_cycles` dispatches between two semantically
+identical engines: the staged path (one method call per pipeline stage per
+cycle — :meth:`_step`) and the fused fast loop (:meth:`_run_fast`, every
+stage inlined into a single frame with loop-invariant lookups hoisted,
+~1.5x faster on CPython). :meth:`_fast_eligible` picks the staged path
+whenever any stage in ``_FAST_STAGES`` is overridden — by a subclass or an
+instance attribute — so monkeypatch-style instrumentation is always
+honored; the property tests pin the two paths cycle-for-cycle equal.
+
+Observability. Assigning ``sim.obs`` (an ``repro.obs.ObservabilityHub`` or
+bare ``IntervalCollector``) before :meth:`run` turns on interval metrics:
+the run loop pauses at window boundaries and lets the collector sample
+quiescent state between ``run_cycles`` chunks. Chunk boundaries are
+behavior-neutral, so results are bit-identical with or without it, and with
+``obs is None`` (the default) the loop takes the exact pre-observability
+control flow — zero cost when disabled. See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -171,6 +188,12 @@ class Simulator:
         self.order_dirty = True
         self._order_cache: list[int] = []
 
+        #: Optional observability attachment (``repro.obs.ObservabilityHub``
+        #: or ``IntervalCollector``). When set before :meth:`run`, the run
+        #: loop pauses at interval-window boundaries and drives the
+        #: ``on_run_start`` / ``on_window`` / ``on_run_end`` protocol.
+        self.obs = None
+
         if simcfg.prewarm_caches:
             self._prewarm_caches()
         policy.attach(self)
@@ -226,13 +249,27 @@ class Simulator:
 
         The loop advances in chunks through :meth:`run_cycles` (which picks
         the fused fast loop when no stage is overridden), pausing only at the
-        warm-up boundary and — when a commit limit is armed — at the same
-        64-cycle-aligned checkpoints the original per-step loop polled at.
+        warm-up boundary; — when a commit limit is armed — at the same
+        64-cycle-aligned checkpoints the original per-step loop polled at,
+        and — when ``self.obs`` is attached — at interval-window boundaries
+        so the collector can sample. All pause points are behavior-neutral.
         """
+        obs = self.obs
+        if obs is not None:
+            obs.on_run_start(self)
+            try:
+                return self._run_loop(obs)
+            finally:
+                obs.on_run_end(self)
+        return self._run_loop(None)
+
+    def _run_loop(self, obs) -> SimResult:
+        """The chunked warm-up + measurement loop behind :meth:`run`."""
         simcfg = self.simcfg
         total = simcfg.total_cycles
         warmup = simcfg.warmup_cycles
         limit = simcfg.commit_limit
+        window = obs.window if obs is not None else 0
         while self.cycle < total:
             cyc = self.cycle
             if cyc == warmup:
@@ -241,11 +278,17 @@ class Simulator:
                 stop = warmup
             else:
                 stop = total
+            if window:
+                edge = (cyc // window + 1) * window  # next window multiple
+                if edge < stop:
+                    stop = edge
             if limit and self._warm_committed is not None:
                 ckpt = (cyc | 63) + 1  # next 64-aligned cycle after cyc
                 if ckpt < stop:
                     stop = ckpt
             self.run_cycles(stop - cyc)
+            if obs is not None:
+                obs.on_window(self)
             if (
                 limit
                 and self._warm_committed is not None

@@ -74,6 +74,20 @@ class SimStats:
             out[f] = getattr(self, f) - snap[f]
         return out
 
+    def totals(self) -> dict:
+        """Current cumulative counters as a plain dict (lists copied).
+
+        The interval-metrics collector (``repro.obs.interval``) baselines
+        and diffs these between window edges; unlike :meth:`window` this is
+        snapshot-independent and safe to call at any point in the run.
+        """
+        out: dict = {}
+        for f in _PER_THREAD_FIELDS:
+            out[f] = list(getattr(self, f))
+        for f in _GLOBAL_FIELDS:
+            out[f] = getattr(self, f)
+        return out
+
     # -- conveniences ---------------------------------------------------------
 
     def window_ipc(self) -> list[float]:

@@ -33,6 +33,13 @@ When a trace-artifact directory is given, each worker additionally reads
 persisted traces from disk (:mod:`repro.trace.artifact`) instead of
 regenerating them — the single largest cost of a cold sweep.
 
+Observability: every entry point accepts an optional
+``repro.obs.RunManifest``. The scheduler records one pair record per
+completed pair — wall-clock seconds (measured inside the worker), retry
+count, and whether the result came from the memory cache, the disk cache,
+or an actual simulation — plus sweep-level pool-restart counts.
+``dwarn-sim report --manifest out.json`` persists it next to the report.
+
 Usage::
 
     runner = ExperimentRunner("baseline", cache_dir=".cache",
@@ -49,13 +56,16 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.config import MachineConfig, SimulationConfig
 from repro.core import SimResult, Simulator, make_policy
 from repro.experiments.runner import ExperimentRunner
 from repro.trace.artifact import TraceArtifactCache
 from repro.workloads import build_programs, build_single, get_workload, workloads_for_machine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.manifest import RunManifest
 
 __all__ = [
     "MAX_POOL_RESTARTS",
@@ -255,6 +265,9 @@ def run_pairs(
     progress: ProgressFn | None = None,
     retries: int = 1,
     worker: Callable[..., tuple[str, str, SimResult, float]] | None = None,
+    manifest: "RunManifest | None" = None,
+    sweep: str = "sweep",
+    seed: int | None = None,
 ) -> list[tuple[str, str, SimResult]]:
     """Run pairs in a process pool; returns (workload, policy, result) in
     the order the pairs were given.
@@ -265,6 +278,10 @@ def run_pairs(
     whose simulation raises is retried ``retries`` times before the sweep
     aborts with a :class:`SweepError` naming it. ``worker`` overrides the
     simulation callable (tests inject crashing workers through this).
+
+    When ``manifest`` is given, every completed pair is recorded into it as
+    ``source="simulated"`` (with its in-worker seconds and retry count,
+    under the ``sweep`` label), and pool restarts are counted sweep-wide.
     """
     pairs = list(pairs)
     if not pairs:
@@ -281,10 +298,14 @@ def run_pairs(
     total = len(pairs)
     results: dict[int, SimResult] = {}
 
-    def _finish(i: int, res: SimResult, secs: float) -> None:
+    def _finish(i: int, res: SimResult, secs: float, nretries: int) -> None:
         results[i] = res
         wl, pol = pairs[i]
         model.record(machine.name, simcfg, wl, pol, secs)
+        if manifest is not None:
+            manifest.record_pair(
+                sweep, wl, pol, "simulated", secs, retries=nretries, seed=seed
+            )
         if progress is not None:
             progress(len(results), total, wl, pol, secs)
 
@@ -302,7 +323,7 @@ def run_pairs(
                         raise SweepError(
                             f"simulation failed for ({wl}, {pol}): {exc!r}", wl, pol
                         ) from exc
-            _finish(i, res, secs)
+            _finish(i, res, secs, attempt)
         return [(pairs[i][0], pairs[i][1], results[i]) for i in range(total)]
 
     attempts = [0] * total
@@ -349,7 +370,7 @@ def run_pairs(
                             ) from exc
                         pending.add(_submit(i))  # bounded re-queue, same pool
                     else:
-                        _finish(i, res, secs)
+                        _finish(i, res, secs, attempts[i])
         if pool_broke:
             restarts += 1
             if restarts > MAX_POOL_RESTARTS:
@@ -357,6 +378,8 @@ def run_pairs(
                     f"worker pool died {restarts} times; "
                     f"{total - len(results)}/{total} pairs unfinished"
                 )
+    if manifest is not None:
+        manifest.pool_restarts += restarts
     return [(pairs[i][0], pairs[i][1], results[i]) for i in range(total)]
 
 
@@ -365,6 +388,8 @@ def prefetch(
     pairs: Iterable[tuple[str, str]],
     processes: int | None = None,
     progress: ProgressFn | None = None,
+    manifest: "RunManifest | None" = None,
+    sweep: str = "prefetch",
 ) -> int:
     """Fill the runner's caches for ``pairs`` using worker processes.
 
@@ -375,16 +400,26 @@ def prefetch(
 
     Measured per-pair costs are recorded into the sweep cost model next to
     the result cache, improving the longest-job-first schedule of every
-    later sweep.
+    later sweep. When ``manifest`` is given, cache-served pairs are recorded
+    as ``source="memory"``/``"disk"`` and simulated pairs with their worker
+    timing and retry counts (see :func:`run_pairs`).
     """
+    seed = runner.simcfg.seed
     todo: list[tuple[str, str]] = []
     for wl, pol in dict.fromkeys(pairs):  # dedupe, keep order
         key = runner._key(wl, pol)
         if key in runner._mem_cache:
+            if manifest is not None:
+                manifest.record_pair(sweep, wl, pol, "memory", 0.0, seed=seed)
             continue
+        t0 = time.perf_counter()
         res = runner._load_disk(key)
         if res is not None:
             runner._mem_cache[key] = res
+            if manifest is not None:
+                manifest.record_pair(
+                    sweep, wl, pol, "disk", time.perf_counter() - t0, seed=seed
+                )
             continue
         todo.append((wl, pol))
     cost_model = SweepCostModel.for_cache_dir(runner.cache_dir)
@@ -396,6 +431,9 @@ def prefetch(
         trace_cache_dir=runner.trace_cache_dir,
         cost_model=cost_model,
         progress=progress,
+        manifest=manifest,
+        sweep=sweep,
+        seed=seed,
     )
     for wl, pol, res in results:
         key = runner._key(wl, pol)
@@ -412,6 +450,8 @@ def prefetch_seed_sweep(
     seeds: Iterable[int],
     processes: int | None = None,
     progress: ProgressFn | None = None,
+    manifest: "RunManifest | None" = None,
+    sweep: str = "seeds",
 ) -> int:
     """Prefetch ``pairs`` under several trace *seeds* (the ext_seeds sweep).
 
@@ -436,6 +476,6 @@ def prefetch_seed_sweep(
         sub._mem_cache = runner._mem_cache
         if runner.trace_cache is not None:
             sub.trace_cache = runner.trace_cache  # share hit/miss accounting
-        total += prefetch(sub, pairs, processes, progress)
+        total += prefetch(sub, pairs, processes, progress, manifest=manifest, sweep=sweep)
         runner.simulations_run += sub.simulations_run
     return total

@@ -217,6 +217,30 @@ class ExperimentRunner:
         """Hmean of relative IPCs for one (workload, policy) run."""
         return self.fairness(workload, policy).hmean
 
+    # -- instrumented runs ------------------------------------------------
+
+    def run_instrumented(
+        self, workload: str | WorkloadSpec, policy: str, obs
+    ) -> SimResult:
+        """Simulate one pair with an observability attachment; never cached.
+
+        ``obs`` is a ``repro.obs.ObservabilityHub`` (or bare
+        ``IntervalCollector``) and, like a fetch policy, is single-use —
+        after the call it holds the run's interval records / event trace /
+        decisions. Results bypass both caches in *both* directions: a cached
+        ``SimResult`` has no telemetry to give, and an instrumented result
+        is bit-identical to an uninstrumented one, so storing it would only
+        duplicate work the plain :meth:`run` path can fill in later.
+        """
+        programs = self._build_programs(workload)
+        if self.verbose:  # pragma: no cover
+            wl = workload if isinstance(workload, str) else workload.name
+            print(f"[sim+obs] {self.machine.name} {wl} {policy}", flush=True)
+        sim = Simulator(self.machine, programs, make_policy(policy), self.simcfg)
+        sim.obs = obs
+        self.simulations_run += 1
+        return sim.run()
+
     # -- multi-seed robustness -------------------------------------------
 
     def run_multi(
@@ -245,15 +269,18 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
 
-    def _simulate(self, workload: str | WorkloadSpec, policy: str) -> SimResult:
+    def _build_programs(self, workload: str | WorkloadSpec) -> list:
+        """Thread programs for a workload name, lone benchmark, or spec."""
         if isinstance(workload, str):
             try:
                 spec = get_workload(workload)
-                programs = build_programs(spec, self.simcfg, trace_cache=self.trace_cache)
             except KeyError:
-                programs = build_single(workload, self.simcfg, trace_cache=self.trace_cache)
-        else:
-            programs = build_programs(workload, self.simcfg, trace_cache=self.trace_cache)
+                return build_single(workload, self.simcfg, trace_cache=self.trace_cache)
+            return build_programs(spec, self.simcfg, trace_cache=self.trace_cache)
+        return build_programs(workload, self.simcfg, trace_cache=self.trace_cache)
+
+    def _simulate(self, workload: str | WorkloadSpec, policy: str) -> SimResult:
+        programs = self._build_programs(workload)
         if self.verbose:  # pragma: no cover
             wl = workload if isinstance(workload, str) else workload.name
             print(f"[sim] {self.machine.name} {wl} {policy}", flush=True)

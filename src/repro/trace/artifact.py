@@ -45,6 +45,12 @@ Durability rules:
 The cache key folds ``repr(profile)`` into the filename hash, so recalibrated
 profiles can never resolve to stale artifacts (same rationale as the result
 cache's ``CACHE_VERSION`` filenames).
+
+The CLI resolves the cache *directory* with a fixed precedence —
+``--trace-cache`` flag, then the ``DWARN_SIM_TRACE_CACHE`` environment
+variable, then the ``.cache/traces`` default
+(``repro.cli.resolve_trace_cache_dir``) — and ``dwarn-sim cache stats``
+reports which of the three supplied the directory it inspected.
 """
 
 from __future__ import annotations

@@ -1,0 +1,208 @@
+"""Documentation checker: markdown link validation and fenced-example doctests.
+
+CI's docs job runs this module twice over the repository's documentation:
+
+- ``python -m repro.utils.doccheck README.md docs`` — validate every
+  relative link target (``[text](path)``) and every bare doc-file mention
+  (``docs/FOO.md`` in prose) against the working tree, so renames and
+  deletions cannot leave dangling cross-references behind.
+- ``python -m repro.utils.doccheck --doctest docs/OBSERVABILITY.md`` — run
+  every fenced ```python code block that contains ``>>>`` prompts through
+  :mod:`doctest`, so the worked examples in the observability guide stay
+  executable as the library evolves.
+
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped: the checker is offline and deterministic.
+Fenced code blocks are stripped before link extraction so example snippets
+are never misread as cross-references. Doctest blocks within one file share
+a globals namespace in document order, so a later block may build on
+objects defined by an earlier one — exactly how a reader runs them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import re
+import sys
+from pathlib import Path
+
+__all__ = [
+    "check_links",
+    "extract_python_blocks",
+    "iter_markdown_files",
+    "run_doctests",
+    "main",
+]
+
+#: Markdown inline link: ``[text](target)``. The target group stops at the
+#: first whitespace so ``[t](url "title")`` resolves to just the url.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)[^)]*\)")
+
+#: Bare doc-file mention in prose, e.g. ``docs/USAGE.md`` or ``ROADMAP.md``.
+#: Restricted to UPPERCASE basenames (the repository's doc-file convention)
+#: to avoid matching generic prose like ``my_notes.md``.
+_DOCFILE_RE = re.compile(r"\b((?:docs/)?[A-Z][A-Z0-9_]*\.md)\b")
+
+#: Fenced code block (any info string), non-greedy across lines.
+_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``*.md`` list."""
+    out: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.md")))
+        else:
+            out.append(p)
+    seen: set[Path] = set()
+    uniq: list[Path] = []
+    for p in out:
+        r = p.resolve()
+        if r not in seen:
+            seen.add(r)
+            uniq.append(p)
+    return uniq
+
+
+def _resolves(target: str, md_file: Path, root: Path) -> bool:
+    """True if ``target`` names an existing file relative to the markdown
+    file's directory or to the repository root (prose mentions are usually
+    root-relative; link targets file-relative — accept either)."""
+    return (md_file.parent / target).exists() or (root / target).exists()
+
+
+def check_links(md_file: Path, root: Path | None = None) -> list[str]:
+    """Return problem strings for broken relative links/mentions in one file."""
+    root = root if root is not None else Path.cwd()
+    text = _FENCE_RE.sub("", md_file.read_text(encoding="utf-8"))
+    problems: list[str] = []
+    checked: set[str] = set()
+
+    for m in _LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part or path_part in checked:
+            continue
+        checked.add(path_part)
+        if not _resolves(path_part, md_file, root):
+            problems.append(f"{md_file}: broken link -> {target}")
+
+    for m in _DOCFILE_RE.finditer(text):
+        mention = m.group(1)
+        if mention in checked:
+            continue
+        checked.add(mention)
+        if not _resolves(mention, md_file, root):
+            problems.append(f"{md_file}: stale doc reference -> {mention}")
+
+    return problems
+
+
+def extract_python_blocks(md_file: Path) -> list[tuple[int, str]]:
+    """Fenced ```python blocks as ``(start_line, source)`` pairs (1-based)."""
+    blocks: list[tuple[int, str]] = []
+    buf: list[str] = []
+    start = 0
+    in_block = False
+    for lineno, line in enumerate(md_file.read_text(encoding="utf-8").splitlines(), start=1):
+        stripped = line.strip()
+        if not in_block and stripped.startswith("```python"):
+            in_block = True
+            start = lineno + 1
+            buf = []
+        elif in_block and stripped == "```":
+            in_block = False
+            blocks.append((start, "\n".join(buf)))
+        elif in_block:
+            buf.append(line)
+    return blocks
+
+
+def run_doctests(md_file: Path, verbose: bool = False) -> list[str]:
+    """Run ``>>>`` examples in the file's fenced python blocks via doctest.
+
+    Returns one problem string per failing block (with the captured doctest
+    report attached). Blocks without ``>>>`` prompts are illustrative and
+    skipped. All blocks of a file share one globals dict, in order.
+    """
+    problems: list[str] = []
+    globs: dict[str, object] = {}
+    parser = doctest.DocTestParser()
+    flags = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+    for lineno, src in extract_python_blocks(md_file):
+        if ">>>" not in src:
+            continue
+        name = f"{md_file.name}:{lineno}"
+        test = parser.get_doctest(src, globs, name, str(md_file), lineno)
+        runner = doctest.DocTestRunner(verbose=verbose, optionflags=flags)
+        report: list[str] = []
+        runner.run(test, out=report.append, clear_globs=False)
+        globs.update(test.globs)  # later blocks see earlier definitions
+        if runner.failures:
+            detail = "".join(report)
+            problems.append(f"{md_file}:{lineno}: {runner.failures} doctest failure(s)\n{detail}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status (0 = all clean)."""
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.utils.doccheck",
+        description="Check markdown docs: relative links resolve, fenced doctests pass.",
+    )
+    ap.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="markdown files or directories to link-check (directories recurse over *.md)",
+    )
+    ap.add_argument(
+        "--doctest",
+        action="append",
+        type=Path,
+        default=[],
+        metavar="MD",
+        help="also run doctests in the fenced ```python blocks of this markdown file (repeatable)",
+    )
+    ap.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root for resolving prose doc references (default: cwd)",
+    )
+    ap.add_argument("-v", "--verbose", action="store_true", help="verbose doctest output")
+    args = ap.parse_args(argv)
+
+    files = iter_markdown_files(list(args.paths))
+    problems: list[str] = []
+    for f in files:
+        if not f.exists():
+            problems.append(f"{f}: no such file")
+            continue
+        problems.extend(check_links(f, root=args.root))
+
+    n_tested = 0
+    for f in args.doctest:
+        if not f.exists():
+            problems.append(f"{f}: no such file (--doctest)")
+            continue
+        n_tested += 1
+        problems.extend(run_doctests(f, verbose=args.verbose))
+
+    for p in problems:
+        print(f"doccheck: {p}", file=sys.stderr)
+    if problems:
+        print(f"doccheck: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"doccheck OK: {len(files)} file(s) link-checked, {n_tested} file(s) doctested")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,7 @@ __all__ = [
     "SWEEP_PAIRS",
     "calibration_score",
     "collect_digests",
+    "collect_obs_overhead",
     "collect_speed",
     "collect_sweep",
     "compare",
@@ -194,6 +195,73 @@ def collect_sweep(processes: int = _SWEEP_PROCESSES) -> dict[str, float]:
     }
 
 
+#: Instrumented-overhead measurement shape: long enough that per-window
+#: sampling cost is visible against real simulation work.
+_OBS_SIMCFG = dict(
+    warmup_cycles=200, measure_cycles=12_000, trace_length=20_000, seed=777
+)
+_OBS_WINDOW = 256
+_OBS_REPEATS = 3
+
+
+def collect_obs_overhead(
+    window: int = _OBS_WINDOW, repeats: int = _OBS_REPEATS
+) -> dict[str, Any]:
+    """Measure interval-metrics overhead: instrumented vs plain wall-clock.
+
+    Runs the speed microbench (4-MIX/dwarn) ``repeats`` times each way —
+    alternating plain and ``IntervalCollector``-instrumented runs so host
+    noise hits both arms equally — and reports best-of-N times, the
+    overhead fraction, and whether the instrumented results stayed
+    bit-identical (they must: window pauses are behavior-neutral).
+    """
+    from repro.config import get_preset
+    from repro.core import Simulator, make_policy
+    from repro.obs import IntervalCollector
+    from repro.workloads import build_programs, get_workload
+
+    simcfg = SimulationConfig(**_OBS_SIMCFG)
+    machine = get_preset("baseline")
+    spec = get_workload(_SPEED_WORKLOAD)
+
+    def one_run(instrumented: bool):
+        programs = build_programs(spec, simcfg)
+        sim = Simulator(machine, programs, make_policy(_SPEED_POLICY), simcfg)
+        collector = None
+        if instrumented:
+            collector = IntervalCollector(window)
+            sim.obs = collector
+        t0 = time.perf_counter()
+        res = sim.run()
+        return time.perf_counter() - t0, res, collector
+
+    plain_secs = []
+    inst_secs = []
+    plain_res = inst_res = None
+    windows = 0
+    for _ in range(repeats):
+        dt, plain_res, _c = one_run(False)
+        plain_secs.append(dt)
+        dt, inst_res, collector = one_run(True)
+        inst_secs.append(dt)
+        windows = len(collector.records)
+    assert plain_res is not None and inst_res is not None
+    best_plain = min(plain_secs)
+    best_inst = min(inst_secs)
+    return {
+        "plain_secs": round(best_plain, 4),
+        "instrumented_secs": round(best_inst, 4),
+        "overhead_frac": round(best_inst / best_plain - 1.0, 4),
+        "window": window,
+        "windows_sampled": windows,
+        "digest_match": (
+            plain_res.cycles == inst_res.cycles
+            and list(plain_res.committed) == list(inst_res.committed)
+            and list(plain_res.fetched) == list(inst_res.fetched)
+        ),
+    }
+
+
 def compare(
     baseline: dict[str, Any], current: dict[str, Any], tolerance: float
 ) -> list[str]:
@@ -253,6 +321,33 @@ def _build_current(skip_speed: bool, skip_sweep: bool) -> dict[str, Any]:
     return current
 
 
+def _obs_overhead_check(tolerance: float) -> int:
+    """The ``--obs-overhead`` mode: measure, report, and gate (<tolerance,
+    digests bit-identical). Returns the process exit status."""
+    m = collect_obs_overhead()
+    print(
+        f"perfguard obs: plain {m['plain_secs']:.3f}s, instrumented "
+        f"{m['instrumented_secs']:.3f}s ({m['windows_sampled']} windows of "
+        f"{m['window']} cycles) -> overhead {m['overhead_frac']:+.1%}"
+    )
+    failures = []
+    if not m["digest_match"]:
+        failures.append("instrumented results differ from plain run")
+    if m["overhead_frac"] > tolerance:
+        failures.append(
+            f"observability overhead {m['overhead_frac']:.1%} exceeds "
+            f"{tolerance:.0%} budget"
+        )
+    for f in failures:
+        print(f"perfguard FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(
+            f"perfguard OK: observability overhead within {tolerance:.0%} "
+            "budget, results bit-identical"
+        )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status (see module doc)."""
     parser = argparse.ArgumentParser(
@@ -286,7 +381,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the parallel-sweep wall-clock measurement only",
     )
+    parser.add_argument(
+        "--obs-overhead",
+        action="store_true",
+        help="measure interval-metrics overhead only: one instrumented vs one "
+        "plain simulation; fails above --obs-tolerance or on digest drift",
+    )
+    parser.add_argument(
+        "--obs-tolerance",
+        type=float,
+        default=0.10,
+        help="max allowed instrumented-run overhead fraction (default: 0.10)",
+    )
     args = parser.parse_args(argv)
+
+    if args.obs_overhead:
+        return _obs_overhead_check(args.obs_tolerance)
 
     current = _build_current(args.skip_speed, args.skip_sweep)
 

@@ -1,0 +1,88 @@
+"""CLI surface of the observability layer: trace-run (JSONL/CSV export,
+event traces, reconciliation exit code), explain, and the trace-cache
+directory resolution reported by cache stats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import DEFAULT_TRACE_CACHE, TRACE_CACHE_ENV, main, resolve_trace_cache_dir
+from repro.obs import validate_record
+
+SIM_ARGS = ["--warmup", "200", "--cycles", "1500", "--trace-length", "6000", "--seed", "777"]
+
+
+class TestTraceRun:
+    def test_jsonl_schema_valid_and_reconciles(self, tmp_path, capsys):
+        out = tmp_path / "iv.jsonl"
+        rc = main([*SIM_ARGS, "trace-run", "2-MIX", "--policy", "dwarn", "-o", str(out)])
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert validate_record(json.loads(line), num_threads=2) == []
+        printed = capsys.readouterr().out
+        assert "reconciliation OK" in printed
+        assert f"wrote {len(lines)} intervals" in printed
+
+    def test_csv_format_inferred_from_suffix(self, tmp_path):
+        out = tmp_path / "iv.csv"
+        rc = main([*SIM_ARGS, "trace-run", "2-MIX", "--policy", "icount", "-o", str(out)])
+        assert rc == 0
+        header = out.read_text().splitlines()[0]
+        assert "committed.t0" in header and "q_free.int" in header
+
+    def test_events_written(self, tmp_path, capsys):
+        iv, ev = tmp_path / "iv.jsonl", tmp_path / "ev.jsonl"
+        rc = main(
+            [*SIM_ARGS, "trace-run", "2-MEM", "--policy", "flush",
+             "-o", str(iv), "--events", str(ev), "--event-capacity", "512"]
+        )
+        assert rc == 0
+        events = [json.loads(line) for line in ev.read_text().splitlines()]
+        assert 0 < len(events) <= 512
+        assert {e["kind"] for e in events} and "wrote" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_prints_decisions(self, tmp_path, capsys):
+        out = tmp_path / "dec.jsonl"
+        rc = main(
+            [*SIM_ARGS, "explain", "2-MIX", "--policy", "dwarn",
+             "--last", "5", "--capacity", "64", "-o", str(out)]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "fetch decisions recorded" in printed
+        assert "cycle" in printed and "T0" in printed
+        assert len(out.read_text().splitlines()) == 64
+
+
+class TestTraceCacheResolution:
+    def test_cli_flag_wins(self, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, "/env/dir")
+        assert resolve_trace_cache_dir("/cli/dir") == ("/cli/dir", "command line")
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, "/env/dir")
+        assert resolve_trace_cache_dir(None) == ("/env/dir", f"${TRACE_CACHE_ENV}")
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+        assert resolve_trace_cache_dir(None) == (DEFAULT_TRACE_CACHE, "default")
+
+    def test_cache_stats_reports_resolved_source(self, tmp_path, monkeypatch, capsys):
+        env_dir = tmp_path / "envtraces"
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(env_dir))
+        rc = main(["cache", "stats", "--cache-dir", str(tmp_path / "results")])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert str(env_dir) in printed
+        assert f"trace-cache directory from ${TRACE_CACHE_ENV}" in printed
+
+        rc = main(
+            ["cache", "stats", "--cache-dir", str(tmp_path / "results"),
+             "--trace-cache", str(tmp_path / "clitraces")]
+        )
+        assert rc == 0
+        assert "trace-cache directory from command line" in capsys.readouterr().out

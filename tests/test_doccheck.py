@@ -1,0 +1,125 @@
+"""Documentation checker: link validation, prose doc-reference checking,
+fenced-doctest extraction/execution, and a full pass over the repo docs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.utils.doccheck import (
+    check_links,
+    extract_python_blocks,
+    iter_markdown_files,
+    main,
+    run_doctests,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def md(tmp_path: Path, text: str, name: str = "doc.md") -> Path:
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestLinkCheck:
+    def test_broken_relative_link(self, tmp_path):
+        doc = md(tmp_path, "See [other](missing.md).")
+        problems = check_links(doc, root=tmp_path)
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_resolving_link_ok(self, tmp_path):
+        (tmp_path / "other.md").write_text("# hi")
+        doc = md(tmp_path, "See [other](other.md) and [frag](other.md#sec).")
+        assert check_links(doc, root=tmp_path) == []
+
+    def test_external_and_anchor_links_skipped(self, tmp_path):
+        doc = md(
+            tmp_path,
+            "[a](https://example.com/x.md) [b](http://x) "
+            "[c](mailto:x@y.z) [d](#local-anchor)",
+        )
+        assert check_links(doc, root=tmp_path) == []
+
+    def test_stale_prose_doc_reference(self, tmp_path):
+        doc = md(tmp_path, "As docs/NOPE.md explains, nothing works.")
+        problems = check_links(doc, root=tmp_path)
+        assert len(problems) == 1 and "docs/NOPE.md" in problems[0]
+
+    def test_prose_reference_resolves_against_root(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "REAL.md").write_text("# real")
+        sub = tmp_path / "docs" / "guide.md"
+        sub.write_text("See docs/REAL.md for details.")
+        assert check_links(sub, root=tmp_path) == []
+
+    def test_links_inside_code_fences_ignored(self, tmp_path):
+        doc = md(tmp_path, "```text\n[fake](nowhere.md) docs/FAKE.md\n```\n")
+        assert check_links(doc, root=tmp_path) == []
+
+    def test_lowercase_prose_mentions_not_flagged(self, tmp_path):
+        doc = md(tmp_path, "rename my_notes.md whenever you like")
+        assert check_links(doc, root=tmp_path) == []
+
+    def test_iter_markdown_files_dedupes_and_recurses(self, tmp_path):
+        (tmp_path / "a.md").write_text("a")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.md").write_text("b")
+        files = iter_markdown_files([tmp_path, tmp_path / "a.md"])
+        assert [f.name for f in files] == ["a.md", "b.md"]
+
+
+class TestDoctests:
+    def test_extract_blocks_with_line_numbers(self, tmp_path):
+        doc = md(tmp_path, "intro\n\n```python\n>>> 1 + 1\n2\n```\n\n```text\nnope\n```\n")
+        blocks = extract_python_blocks(doc)
+        assert len(blocks) == 1
+        lineno, src = blocks[0]
+        assert lineno == 4
+        assert ">>> 1 + 1" in src
+
+    def test_passing_doctest(self, tmp_path):
+        doc = md(tmp_path, "```python\n>>> 2 * 21\n42\n```\n")
+        assert run_doctests(doc) == []
+
+    def test_failing_doctest_reported_with_location(self, tmp_path):
+        doc = md(tmp_path, "```python\n>>> 2 * 21\n43\n```\n")
+        problems = run_doctests(doc)
+        assert len(problems) == 1
+        assert "doc.md:2" in problems[0]
+
+    def test_blocks_share_globals_in_order(self, tmp_path):
+        doc = md(
+            tmp_path,
+            "```python\n>>> x = 21\n```\n\n```python\n>>> x * 2\n42\n```\n",
+        )
+        assert run_doctests(doc) == []
+
+    def test_illustrative_blocks_without_prompts_skipped(self, tmp_path):
+        doc = md(tmp_path, "```python\nthis is not even python ===\n```\n")
+        assert run_doctests(doc) == []
+
+
+class TestMain:
+    def test_clean_docs_exit_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.md").write_text("fine [x](ok.md)\n")
+        assert main([str(tmp_path / "ok.md"), "--root", str(tmp_path)]) == 0
+        assert "doccheck OK" in capsys.readouterr().out
+
+    def test_problems_exit_nonzero(self, tmp_path, capsys):
+        bad = md(tmp_path, "[x](gone.md)\n\n```python\n>>> 1\n2\n```\n", "bad.md")
+        rc = main([str(bad), "--doctest", str(bad), "--root", str(tmp_path)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "broken link" in err and "doctest failure" in err
+
+    def test_missing_file_reported(self, tmp_path, capsys):
+        assert main([str(tmp_path / "ghost.md")]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_repo_docs_are_clean(self):
+        """The real README + docs/ must link-check (the CI docs job; the
+        OBSERVABILITY.md doctests run there too, but cost simulations, so
+        tier-1 only checks links)."""
+        rc = main([str(REPO / "README.md"), str(REPO / "docs"), "--root", str(REPO)])
+        assert rc == 0

@@ -1,0 +1,119 @@
+"""Fetch-decision explain recorder: decision records, rank consistency,
+every-cycle recording, fused-path retention and behavior parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig, baseline
+from repro.core import Simulator, make_policy
+from repro.obs import ExplainRecorder
+from repro.workloads import build_programs, get_workload
+
+CFG = SimulationConfig(warmup_cycles=200, measure_cycles=1500, trace_length=6000, seed=777)
+
+REQUIRED_KEYS = {"tid", "rank", "icount", "dmiss", "gated", "reason"}
+
+
+def make_sim(workload="2-MIX", policy="dwarn"):
+    programs = build_programs(get_workload(workload), CFG)
+    return Simulator(baseline(), programs, make_policy(policy), CFG)
+
+
+def run_explained(workload="2-MIX", policy="dwarn", **kw):
+    sim = make_sim(workload, policy)
+    rec = ExplainRecorder(**kw)
+    rec.attach(sim)
+    res = sim.run()
+    return rec, res
+
+
+class TestConstruction:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ExplainRecorder(capacity=0)
+
+    def test_single_use(self):
+        rec = ExplainRecorder()
+        rec.attach(make_sim())
+        with pytest.raises(RuntimeError, match="single-use"):
+            rec.attach(make_sim())
+
+    def test_fast_path_retained(self):
+        sim = make_sim()
+        ExplainRecorder().attach(sim)
+        assert sim._fast_eligible()
+
+
+class TestDecisions:
+    def test_records_one_decision_per_fetch_cycle(self):
+        rec, res = run_explained(capacity=10_000)
+        # every_cycle=True: the order is recomputed (and recorded) each
+        # cycle the fetch stage runs.
+        assert rec.recorded >= res.cycles
+        cycles = [d.cycle for d in rec.decisions]
+        assert cycles == sorted(cycles)
+
+    def test_every_cycle_off_records_only_recomputes(self):
+        dense, _ = run_explained(capacity=10_000, every_cycle=True)
+        sparse, _ = run_explained(capacity=10_000, every_cycle=False)
+        assert 0 < sparse.recorded < dense.recorded
+
+    def test_thread_dicts_have_decision_inputs(self):
+        rec, _ = run_explained(capacity=4096)
+        for d in rec.tail(50):
+            assert len(d.threads) == 2
+            for th in d.threads:
+                assert REQUIRED_KEYS <= set(th)
+            assert set(d.order) <= {0, 1}
+
+    def test_ranks_match_order(self):
+        rec, _ = run_explained(capacity=4096)
+        for d in rec.tail(100):
+            for th in d.threads:
+                if th["rank"] is not None:
+                    assert d.order[th["rank"]] == th["tid"]
+                else:
+                    assert th["tid"] not in d.order
+
+    def test_dwarn_reports_group_membership(self):
+        rec, _ = run_explained(policy="dwarn", capacity=10_000)
+        groups = {th["group"] for d in rec.decisions for th in d.threads}
+        assert groups <= {"normal", "dmiss"}
+        assert groups == {"normal", "dmiss"}  # both occur on 2-MIX
+
+    def test_ring_capacity_and_dropped(self):
+        rec, _ = run_explained(capacity=32)
+        assert len(rec.decisions) == 32
+        assert rec.dropped == rec.recorded - 32
+
+
+class TestRendering:
+    def test_render_mentions_threads_and_reasons(self):
+        rec, _ = run_explained(capacity=64)
+        text = rec.render(last=10)
+        assert "cycle" in text and "T0" in text and "T1" in text
+        assert "dropped" in text  # capacity 64 over a 1700-cycle run
+
+    def test_to_jsonl(self, tmp_path):
+        rec, _ = run_explained(capacity=128)
+        path = rec.to_jsonl(tmp_path / "dec.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(rec.decisions)
+        data = json.loads(lines[-1])
+        assert set(data) == {"cycle", "order", "threads"}
+
+
+class TestParity:
+    @pytest.mark.parametrize("policy", ("icount", "dwarn", "dg"))
+    def test_forced_recompute_is_behavior_neutral(self, policy):
+        """every_cycle=True disables the fetch-order cache; cacheable
+        policies are pure functions of simulator state, so results must
+        stay bit-identical."""
+        plain = make_sim("2-MIX", policy).run()
+        _, explained = run_explained("2-MIX", policy, capacity=256)
+        assert explained.cycles == plain.cycles
+        assert explained.committed == plain.committed
+        assert explained.fetched == plain.fetched

@@ -1,0 +1,290 @@
+"""Interval-metrics collector: window alignment, per-thread counter
+correctness on a hand-built micro-trace, obs-on/off behavior parity,
+schema validation, export round-trips and reconciliation."""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.config import SimulationConfig, baseline
+from repro.core import Simulator, make_policy
+from repro.isa.opcodes import BranchKind, OpClass
+from repro.obs import (
+    INTERVAL_SCHEMA,
+    IntervalCollector,
+    reconcile,
+    validate_record,
+    write_csv,
+    write_jsonl,
+)
+from repro.trace.profiles import get_profile
+from repro.trace.synthetic import SyntheticTrace
+from repro.trace.wrongpath import WrongPathSupplier
+from repro.workloads import build_programs, get_workload
+from repro.workloads.builder import ThreadProgram
+
+CFG = SimulationConfig(warmup_cycles=200, measure_cycles=1500, trace_length=6000, seed=777)
+
+PAPER_POLICIES = ("icount", "stall", "flush", "dg", "pdg", "dwarn")
+
+
+def make_sim(workload="2-MIX", policy="dwarn", simcfg=CFG):
+    programs = build_programs(get_workload(workload), simcfg)
+    return Simulator(baseline(), programs, make_policy(policy), simcfg)
+
+
+def run_collected(workload="2-MIX", policy="dwarn", window=256, simcfg=CFG):
+    sim = make_sim(workload, policy, simcfg)
+    sim.obs = col = IntervalCollector(window=window)
+    res = sim.run()
+    return col, res
+
+
+class TestWindowAlignment:
+    def test_edges_are_window_multiples_or_warmup(self):
+        col, _ = run_collected(window=256)
+        warmup = CFG.warmup_cycles
+        total = CFG.warmup_cycles + CFG.measure_cycles
+        for r in col.records[:-1]:
+            assert r.cycle_end % 256 == 0 or r.cycle_end == warmup
+        assert col.records[-1].cycle_end == total
+
+    def test_records_tile_the_run(self):
+        col, _ = run_collected(window=256)
+        assert col.records[0].cycle_start == 0
+        for prev, cur in zip(col.records, col.records[1:]):
+            assert cur.cycle_start == prev.cycle_end
+        assert all(r.cycles == r.cycle_end - r.cycle_start for r in col.records)
+
+    def test_warmup_cut_separates_measurement(self):
+        # No interval may straddle the warm-up boundary: each lies wholly
+        # inside or wholly outside the measurement window.
+        col, _ = run_collected(window=256)
+        warmup = CFG.warmup_cycles
+        for r in col.records:
+            assert r.cycle_end <= warmup or r.cycle_start >= warmup
+            assert r.in_measurement == (r.cycle_start >= warmup)
+        assert col.measured_records() == [r for r in col.records if r.in_measurement]
+
+    def test_partial_final_window(self):
+        # 1700 total cycles is not a multiple of 256: the final interval is
+        # short, emitted by on_run_end.
+        col, _ = run_collected(window=256)
+        last = col.records[-1]
+        assert last.cycle_end == 1700
+        assert 0 < last.cycles < 256
+
+    def test_window_larger_than_run(self):
+        # One warm-up interval + one measurement interval, nothing lost.
+        col, res = run_collected(window=100_000)
+        assert [r.cycles for r in col.records] == [200, 1500]
+        assert reconcile(col.records, res) == []
+
+    def test_collector_is_single_use(self):
+        col, _ = run_collected()
+        sim = make_sim()
+        sim.obs = col
+        with pytest.raises(RuntimeError, match="single-use"):
+            sim.run()
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            IntervalCollector(window=0)
+
+
+class TestMicroTraceCounters:
+    """Per-thread counter correctness on a hand-built 2-thread trace of
+    pure integer ALU instructions: no loads, no branches — so every
+    memory/branch-related field must stay exactly zero, and the progress
+    counters must sum to the final result."""
+
+    @staticmethod
+    def _micro_program(tid: int, length: int = 64) -> ThreadProgram:
+        profile = get_profile("gzip")
+        base = tid << 30
+        arrays = {
+            "pc": [base + 0x1000 + 4 * i for i in range(length)],
+            "op": [int(OpClass.INT)] * length,
+            "dest": [(i % 28) + 1 for i in range(length)],
+            "src1": [((i + 1) % 28) + 1 for i in range(length)],
+            "src2": [((i + 2) % 28) + 1 for i in range(length)],
+            "addr": [0] * length,
+            "brkind": [int(BranchKind.NONE)] * length,
+            "taken": [0] * length,
+            "target": [0] * length,
+        }
+        trace = SyntheticTrace.from_arrays(profile, length, base, 7, 0, arrays)
+        return ThreadProgram(profile, trace, WrongPathSupplier(profile, base, 7))
+
+    def _run(self, window=128):
+        cfg = SimulationConfig(
+            warmup_cycles=64, measure_cycles=512, trace_length=64,
+            seed=7, prewarm_caches=False,
+        )
+        programs = [self._micro_program(0), self._micro_program(1)]
+        sim = Simulator(baseline(), programs, make_policy("icount"), cfg)
+        sim.obs = col = IntervalCollector(window=window)
+        res = sim.run()
+        return col, res
+
+    def test_memory_and_branch_fields_all_zero(self):
+        col, _ = self._run()
+        for r in col.records:
+            assert r.dmiss == [0, 0]
+            assert r.l2_outstanding == [0, 0]
+            assert r.group == ["normal", "normal"]
+            assert r.gated == [False, False]
+            assert r.gated_cycles == [0, 0]
+            assert r.flushes == [0, 0]
+            assert r.squashed_flush == [0, 0]
+            assert r.squashed_mispredict == [0, 0]
+            assert r.mispredicts == [0, 0]
+
+    def test_progress_counters_sum_to_result(self):
+        col, res = self._run()
+        measured = col.measured_records()
+        for t in range(2):
+            assert sum(r.committed[t] for r in measured) == res.committed[t]
+            assert sum(r.fetched[t] for r in measured) == res.fetched[t]
+
+    def test_ipc_is_committed_over_cycles(self):
+        col, _ = self._run()
+        for r in col.records:
+            for t in range(2):
+                assert r.ipc[t] == pytest.approx(r.committed[t] / r.cycles)
+
+    def test_occupancy_fields_sampled_sane(self):
+        col, _ = self._run()
+        machine = baseline()
+        for r in col.records:
+            assert all(v >= 0 for v in r.icount)
+            assert all(v >= 0 for v in r.rob)
+            assert len(r.q_free) == 3
+            assert 0 <= r.free_int_regs <= machine.proc.int_regs
+
+    def test_reconciles(self):
+        col, res = self._run()
+        assert reconcile(col.records, res) == []
+
+
+class TestParity:
+    """Attaching the collector must not change simulated behavior: digests
+    bit-identical with observability enabled vs disabled, for all six
+    paper policies."""
+
+    @pytest.mark.parametrize("policy", PAPER_POLICIES)
+    def test_digest_identical_with_and_without_obs(self, policy):
+        plain = make_sim("2-MIX", policy).run()
+        col, instrumented = run_collected("2-MIX", policy, window=256)
+        assert instrumented.cycles == plain.cycles
+        assert instrumented.committed == plain.committed
+        assert instrumented.fetched == plain.fetched
+        assert instrumented.ipc == plain.ipc
+        assert reconcile(col.records, instrumented) == []
+
+
+class TestValidation:
+    def test_real_records_validate(self):
+        col, _ = run_collected()
+        for r in col.records:
+            assert validate_record(r.as_dict(), num_threads=2) == []
+
+    def test_missing_field(self):
+        col, _ = run_collected()
+        data = col.records[0].as_dict()
+        del data["ipc"]
+        assert any("missing field 'ipc'" in p for p in validate_record(data, 2))
+
+    def test_unknown_field(self):
+        col, _ = run_collected()
+        data = col.records[0].as_dict()
+        data["bogus"] = 1
+        assert any("unknown field 'bogus'" in p for p in validate_record(data, 2))
+
+    def test_wrong_thread_count(self):
+        col, _ = run_collected()
+        data = col.records[0].as_dict()
+        assert validate_record(data, num_threads=4) != []
+
+    def test_q_free_is_per_queue_not_per_thread(self):
+        # q_free always has 3 elements (int/fp/ls) regardless of threads.
+        col, _ = run_collected()
+        data = col.records[0].as_dict()
+        assert len(data["q_free"]) == 3
+        assert validate_record(data, num_threads=2) == []
+        data["q_free"] = [1, 2]
+        assert any("q_free" in p for p in validate_record(data, 2))
+
+    def test_type_mismatches(self):
+        col, _ = run_collected()
+        data = col.records[0].as_dict()
+        data["issued"] = "lots"
+        data["committed"] = 5
+        problems = validate_record(data, 2)
+        assert any("issued" in p for p in problems)
+        assert any("committed" in p for p in problems)
+
+    def test_thread_series(self):
+        col, _ = run_collected()
+        series = col.thread_series("ipc", 0)
+        assert series == [r.ipc[0] for r in col.records]
+        with pytest.raises(KeyError):
+            col.thread_series("issued", 0)
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tmp_path):
+        col, _ = run_collected()
+        path = write_jsonl(col.records, tmp_path / "iv.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(col.records)
+        for line, rec in zip(lines, col.records):
+            data = json.loads(line)
+            assert validate_record(data, num_threads=2) == []
+            assert data == rec.as_dict()
+
+    def test_csv_headers_flatten_per_thread(self, tmp_path):
+        col, _ = run_collected()
+        path = write_csv(col.records, tmp_path / "iv.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        header = rows[0]
+        assert "committed.t0" in header and "committed.t1" in header
+        assert {"q_free.int", "q_free.fp", "q_free.ls"} <= set(header)
+        assert "window" in header
+        assert len(rows) == len(col.records) + 1
+        assert all(len(row) == len(header) for row in rows[1:])
+
+    def test_csv_empty_records(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+
+class TestSchemaDocsSync:
+    def test_observability_md_documents_every_field(self):
+        """The field-by-field table in docs/OBSERVABILITY.md must list
+        exactly INTERVAL_SCHEMA's fields, in order, with matching kinds."""
+        doc = Path(__file__).resolve().parent.parent / "docs" / "OBSERVABILITY.md"
+        rows = re.findall(r"^\| `(\w+)` \| `(\[?\w+\]?)` \|", doc.read_text(), re.M)
+        documented = {name: kind for name, kind in rows}
+        schema = {name: kind for name, (kind, _) in INTERVAL_SCHEMA.items()}
+        assert documented == schema
+        assert [name for name, _ in rows] == list(INTERVAL_SCHEMA)
+
+
+class TestReconcile:
+    def test_clean_on_real_runs(self):
+        for policy in ("icount", "flush"):
+            col, res = run_collected("2-MEM", policy)
+            assert reconcile(col.records, res) == []
+
+    def test_detects_tampering(self):
+        col, res = run_collected()
+        col.measured_records()[0].committed[0] += 1
+        problems = reconcile(col.records, res)
+        assert any("committed" in p for p in problems)

@@ -1,0 +1,126 @@
+"""Sweep run manifest: record validation, summaries, JSON export, and the
+integration with prefetch/run_pairs (memory/disk/simulated sources, retry
+counts)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import ExperimentRunner, prefetch, run_pairs
+from repro.experiments.parallel import _simulate_one
+from repro.obs import PAIR_SOURCES, RunManifest
+
+TINY = SimulationConfig(warmup_cycles=100, measure_cycles=700, trace_length=4000, seed=3)
+
+_FLAKY_FLAG_ENV = "DWARN_TEST_MANIFEST_FLAKY_FLAG"
+
+
+def _flaky_worker(machine, simcfg, workload, policy, trace_cache_dir=None):
+    """Worker that raises once for 2-MIX/dwarn (flag-file gated), so the
+    retry path runs and the manifest must record retries=1 for that pair."""
+    flag = os.environ.get(_FLAKY_FLAG_ENV)
+    if flag and os.path.exists(flag) and (workload, policy) == ("2-MIX", "dwarn"):
+        os.remove(flag)
+        raise RuntimeError("transient failure")
+    return _simulate_one(machine, simcfg, workload, policy, trace_cache_dir)
+
+
+class TestRunManifestUnit:
+    def test_record_pair_validates_source(self):
+        m = RunManifest()
+        with pytest.raises(ValueError, match="not in"):
+            m.record_pair("s", "2-MIX", "dwarn", "cosmic-rays", 1.0)
+
+    def test_summary_rolls_up(self):
+        m = RunManifest(label="test")
+        m.record_pair("a", "2-MIX", "dwarn", "simulated", 2.0, retries=1)
+        m.record_pair("a", "2-MIX", "icount", "disk", 0.5)
+        m.record_pair("b", "2-MEM", "flush", "memory", 0.0, seed=9)
+        m.pool_restarts = 2
+        s = m.summary()
+        assert s["pairs"] == 3
+        assert s["by_source"] == {"memory": 1, "disk": 1, "simulated": 1}
+        assert s["total_secs"] == pytest.approx(2.5)
+        assert s["retries"] == 1
+        assert s["pool_restarts"] == 2
+        assert s["slowest"] == "2-MIX/dwarn (2.0s)"
+
+    def test_empty_summary(self):
+        s = RunManifest().summary()
+        assert s["pairs"] == 0
+        assert s["slowest"] is None
+        assert set(s["by_source"]) == set(PAIR_SOURCES)
+
+    def test_render_mentions_counts(self):
+        m = RunManifest(label="sweepy")
+        m.record_pair("a", "2-MIX", "dwarn", "simulated", 1.25)
+        text = m.render()
+        assert "sweepy" in text and "1 simulated" in text and "slowest" in text
+
+    def test_write_json(self, tmp_path):
+        m = RunManifest(label="x")
+        m.record_pair("a", "2-MIX", "dwarn", "simulated", 1.0, seed=3)
+        m.extras["report"] = "EXPERIMENTS.md"
+        path = m.write_json(tmp_path / "sub" / "manifest.json")
+        data = json.loads(path.read_text())
+        assert data["summary"]["pairs"] == 1
+        assert data["pairs"][0]["workload"] == "2-MIX"
+        assert data["pairs"][0]["seed"] == 3
+        assert data["extras"] == {"report": "EXPERIMENTS.md"}
+
+
+class TestSweepIntegration:
+    def test_prefetch_records_all_three_sources(self, tmp_path):
+        pairs = [("2-MIX", "icount"), ("2-MIX", "dwarn")]
+
+        # Cold: everything is simulated.
+        runner = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
+        m_cold = RunManifest()
+        prefetch(runner, pairs, processes=1, manifest=m_cold, sweep="cold")
+        assert m_cold.summary()["by_source"] == {"memory": 0, "disk": 0, "simulated": 2}
+        assert all(p.sweep == "cold" and p.seed == TINY.seed for p in m_cold.pairs)
+        assert all(p.secs > 0 for p in m_cold.pairs if p.source == "simulated")
+
+        # Same runner again: memory hits.
+        m_mem = RunManifest()
+        prefetch(runner, pairs, processes=1, manifest=m_mem)
+        assert m_mem.summary()["by_source"] == {"memory": 2, "disk": 0, "simulated": 0}
+
+        # Fresh runner, same cache dir: disk hits.
+        fresh = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
+        m_disk = RunManifest()
+        prefetch(fresh, pairs, processes=1, manifest=m_disk)
+        assert m_disk.summary()["by_source"] == {"memory": 0, "disk": 2, "simulated": 0}
+
+    def test_run_pairs_records_retries(self, tmp_path, monkeypatch):
+        flag = tmp_path / "flaky"
+        flag.write_text("armed")
+        monkeypatch.setenv(_FLAKY_FLAG_ENV, str(flag))
+        runner = ExperimentRunner("baseline", TINY)
+        manifest = RunManifest()
+        out = run_pairs(
+            runner.machine,
+            TINY,
+            [("2-MIX", "dwarn"), ("2-MIX", "icount")],
+            processes=1,
+            worker=_flaky_worker,
+            manifest=manifest,
+            sweep="flaky",
+            seed=TINY.seed,
+        )
+        assert len(out) == 2
+        by_pair = {(p.workload, p.policy): p for p in manifest.pairs}
+        assert by_pair[("2-MIX", "dwarn")].retries == 1
+        assert by_pair[("2-MIX", "icount")].retries == 0
+        assert manifest.summary()["retries"] == 1
+
+    def test_manifest_is_optional(self):
+        runner = ExperimentRunner("baseline", TINY)
+        out = run_pairs(
+            runner.machine, TINY, [("2-MIX", "icount")], processes=1
+        )
+        assert len(out) == 1

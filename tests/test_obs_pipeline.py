@@ -1,0 +1,138 @@
+"""Pipeline event tracer: event kinds, ring-buffer bounds, execution-path
+selection (hook-only tracing keeps the fused loop) and behavior parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig, baseline
+from repro.core import Simulator, make_policy
+from repro.obs import EVENT_KINDS, PipelineTracer
+from repro.workloads import build_programs, get_workload
+
+CFG = SimulationConfig(warmup_cycles=200, measure_cycles=1500, trace_length=6000, seed=777)
+
+
+def make_sim(workload="2-MIX", policy="dwarn"):
+    programs = build_programs(get_workload(workload), CFG)
+    return Simulator(baseline(), programs, make_policy(policy), CFG)
+
+
+def run_traced(workload="2-MIX", policy="dwarn", **tracer_kw):
+    sim = make_sim(workload, policy)
+    tracer = PipelineTracer(**tracer_kw)
+    tracer.attach(sim)
+    res = sim.run()
+    return tracer, res
+
+
+class TestConstruction:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            PipelineTracer(capacity=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kinds"):
+            PipelineTracer(kinds=("l1_miss", "teleport"))
+
+    def test_single_use(self):
+        tracer = PipelineTracer()
+        tracer.attach(make_sim())
+        with pytest.raises(RuntimeError, match="single-use"):
+            tracer.attach(make_sim())
+
+
+class TestEventStream:
+    def test_core_kinds_recorded(self):
+        tracer, _ = run_traced(capacity=200_000)
+        counts = tracer.counts()
+        assert set(counts) <= set(EVENT_KINDS)
+        for kind in ("fetch", "issue", "l1_miss", "fill"):
+            assert counts.get(kind, 0) > 0, kind
+        assert tracer.dropped == 0
+        assert tracer.recorded == len(tracer.events)
+
+    def test_records_carry_required_fields(self):
+        tracer, _ = run_traced(capacity=50_000)
+        for ev in tracer.events:
+            assert ev["kind"] in EVENT_KINDS
+            assert ev["cycle"] >= 0
+            assert ev["tid"] in (0, 1)
+            assert "pc" in ev
+        fills = [ev for ev in tracer.events if ev["kind"] == "fill"]
+        assert fills and all(ev["latency"] > 0 for ev in fills)
+
+    def test_cycles_nondecreasing(self):
+        tracer, _ = run_traced(capacity=200_000)
+        cycles = [ev["cycle"] for ev in tracer.events]
+        assert cycles == sorted(cycles)
+
+    def test_ring_capacity_and_dropped(self):
+        tracer, _ = run_traced(capacity=64)
+        assert len(tracer.events) == 64
+        assert tracer.recorded > 64
+        assert tracer.dropped == tracer.recorded - 64
+        # Newest events win: the ring holds the tail of the run.
+        assert tracer.events[-1]["cycle"] >= 1600
+
+    def test_kind_filter(self):
+        tracer, _ = run_traced(kinds=("l1_miss", "fill"), capacity=50_000)
+        assert set(tracer.counts()) <= {"l1_miss", "fill"}
+        assert tracer.recorded > 0
+
+    def test_flush_events_under_flush_policy(self):
+        tracer, res = run_traced("2-MEM", "flush", kinds=("flush",), capacity=50_000)
+        events = list(tracer.events)
+        assert events, "FLUSH on 2-MEM must flush at this config"
+        assert all(ev["kind"] == "flush" for ev in events)
+        assert all(ev["squashed"] >= 0 for ev in events)
+
+    def test_gate_events_under_stall_policy(self):
+        tracer, _ = run_traced("2-MEM", "stall", kinds=("gate",), capacity=50_000)
+        events = list(tracer.events)
+        assert events, "STALL on 2-MEM must gate at this config"
+        assert all(ev["until"] > ev["cycle"] for ev in events)
+
+    def test_tail(self):
+        tracer, _ = run_traced(capacity=1000)
+        assert tracer.tail(0) == []
+        tail = tracer.tail(5)
+        assert tail == list(tracer.events)[-5:]
+
+    def test_to_jsonl(self, tmp_path):
+        tracer, _ = run_traced(kinds=("l1_miss",), capacity=5000)
+        path = tracer.to_jsonl(tmp_path / "ev.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(tracer.events)
+        assert all(json.loads(line)["kind"] == "l1_miss" for line in lines)
+
+
+class TestExecutionPathSelection:
+    def test_hook_only_tracing_keeps_fused_loop(self):
+        sim = make_sim()
+        PipelineTracer(kinds=("l1_miss", "l2_miss", "fill", "gate", "flush")).attach(sim)
+        assert sim._fast_eligible()
+
+    def test_per_instruction_kinds_force_staged_path(self):
+        for kind in ("fetch", "issue"):
+            sim = make_sim()
+            PipelineTracer(kinds=(kind,)).attach(sim)
+            assert not sim._fast_eligible()
+
+
+class TestParity:
+    @pytest.mark.parametrize("policy", ("dwarn", "flush"))
+    def test_traced_run_commits_exactly_what_untraced_does(self, policy):
+        plain = make_sim("2-MEM", policy).run()
+        _, traced = run_traced("2-MEM", policy, capacity=4096)
+        assert traced.cycles == plain.cycles
+        assert traced.committed == plain.committed
+        assert traced.fetched == plain.fetched
+
+    def test_hook_only_parity_on_fused_path(self):
+        plain = make_sim("2-MIX", "dwarn").run()
+        _, traced = run_traced("2-MIX", "dwarn", kinds=("l1_miss", "fill"), capacity=4096)
+        assert traced.committed == plain.committed
+        assert traced.fetched == plain.fetched
