@@ -10,6 +10,8 @@ Subcommands::
     dwarn-sim report -o EXPERIMENTS.md -j 8    # the full paper-vs-measured report
     dwarn-sim cache stats                      # result/trace cache footprint
     dwarn-sim cache clear                      # wipe both caches
+    dwarn-sim serve --port 8177                # simulation-as-a-service daemon
+    dwarn-sim version                          # package + on-disk schema versions
     dwarn-sim list                             # workloads/policies/machines
 
 The trace-artifact cache directory resolves with CLI > environment >
@@ -168,6 +170,60 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default: $DWARN_SIM_TRACE_CACHE, else {DEFAULT_TRACE_CACHE})",
     )
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon (see docs/SERVICE.md)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8177,
+        help="listen port (0 = ephemeral; pair with --port-file)",
+    )
+    p_srv.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here once listening (for scripts/CI)",
+    )
+    p_srv.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="max queued jobs before 429 backpressure (default: 64)",
+    )
+    p_srv.add_argument(
+        "--batch-max", type=int, default=8,
+        help="max config-compatible jobs fused into one sweep batch",
+    )
+    p_srv.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes per batch (default: 1, in-process)",
+    )
+    p_srv.add_argument(
+        "--retries", type=int, default=1,
+        help="per-pair retries inside a batch (default: 1)",
+    )
+    p_srv.add_argument(
+        "--store", default=".cache/service/results.jsonl", metavar="PATH",
+        help="JSONL result store ('' disables persistence)",
+    )
+    p_srv.add_argument(
+        "--ttl", type=float, default=None, metavar="SECS",
+        help="evict stored results older than this (default: keep forever)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", default=".cache",
+        help="simulation-result cache shared with report/prefetch",
+    )
+    p_srv.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="persistent trace-artifact directory "
+        f"(default: $DWARN_SIM_TRACE_CACHE, else {DEFAULT_TRACE_CACHE})",
+    )
+    p_srv.add_argument(
+        "--dispatch-delay", type=float, default=0.0, metavar="SECS",
+        help="sleep before dispatching each batch (testing backpressure)",
+    )
+
+    sub.add_parser(
+        "version", help="package version plus on-disk/wire schema versions"
+    )
     sub.add_parser("list", help="available workloads, policies and machines")
     return parser
 
@@ -298,9 +354,63 @@ def _explain_command(args: argparse.Namespace, simcfg: SimulationConfig) -> int:
     return 0
 
 
+def _version_command() -> int:
+    """``dwarn-sim version``: every version a deployment may need to match.
+
+    The schema versions were previously only discoverable by reading
+    source; operators comparing two hosts' caches (or debugging a service
+    that ignores another host's artifacts) need them printable.
+    """
+    import repro
+    from repro.experiments.runner import CACHE_VERSION
+    from repro.service.protocol import PROTOCOL_VERSION
+    from repro.service.store import STORE_VERSION
+    from repro.trace.artifact import schema_info
+
+    art = schema_info()
+    print(f"dwarn-sim {repro.__version__}")
+    print(
+        f"  trace-artifact schema: v{art['version']} "
+        f"(magic {art['magic']}, {art['record_bytes']} bytes/record)"
+    )
+    print(f"  result-cache schema:   v{CACHE_VERSION}")
+    print(f"  service protocol:      v{PROTOCOL_VERSION}")
+    print(f"  result-store schema:   v{STORE_VERSION}")
+    return 0
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    """``dwarn-sim serve``: run the simulation service daemon (blocking)."""
+    from repro.service.server import ServiceConfig, run_service
+
+    trace_dir, _ = resolve_trace_cache_dir(args.trace_cache)
+    cfg = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue_capacity,
+        batch_max=args.batch_max,
+        processes=args.processes,
+        retries=args.retries,
+        ttl=args.ttl,
+        store_path=args.store or None,
+        cache_dir=args.cache_dir or None,
+        trace_cache_dir=trace_dir,
+        dispatch_delay=args.dispatch_delay,
+        port_file=args.port_file,
+    )
+    return run_service(cfg)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "version":
+        return _version_command()
+
+    if args.command == "serve":
+        return _serve_command(args)
+
     simcfg = _simcfg(args)
 
     if args.command == "list":

@@ -87,12 +87,24 @@ ProgressFn = Callable[[int, int, str, str, float], None]
 
 
 class SweepError(RuntimeError):
-    """A sweep aborted: carries the failing (workload, policy) when known."""
+    """A sweep aborted: carries the failing (workload, policy, seed) when known.
 
-    def __init__(self, message: str, workload: str | None = None, policy: str | None = None):
+    The seed matters for reproducing the failure: multi-seed sweeps
+    (``prefetch_seed_sweep``) run the same pair under several trace seeds,
+    and only one of them may trip the bug.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        workload: str | None = None,
+        policy: str | None = None,
+        seed: int | None = None,
+    ):
         super().__init__(message)
         self.workload = workload
         self.policy = policy
+        self.seed = seed
 
 
 # ----------------------------------------------------------------------
@@ -287,6 +299,11 @@ def run_pairs(
     if not pairs:
         return []
     run_one = worker or _simulate_one
+    # The trace seed every pair in this call actually runs under: the
+    # explicit ``seed`` label when given (seed sweeps), else the simcfg's.
+    # SweepError messages carry it so a failing pair is reproducible as
+    # (workload, policy, seed), not just (workload, policy).
+    eff_seed = seed if seed is not None else simcfg.seed
     # Not ``or``: an empty cost model is falsy (len 0) but must still be
     # recorded into, so later sweeps inherit this one's measurements.
     model = cost_model if cost_model is not None else SweepCostModel(None)
@@ -321,7 +338,11 @@ def run_pairs(
                     attempt += 1
                     if attempt > retries:
                         raise SweepError(
-                            f"simulation failed for ({wl}, {pol}): {exc!r}", wl, pol
+                            f"simulation failed for ({wl}, {pol}, seed={eff_seed}): "
+                            f"{exc!r}",
+                            wl,
+                            pol,
+                            eff_seed,
                         ) from exc
             _finish(i, res, secs, attempt)
         return [(pairs[i][0], pairs[i][1], results[i]) for i in range(total)]
@@ -363,10 +384,12 @@ def run_pairs(
                                 other.cancel()
                             pool.shutdown(wait=False, cancel_futures=True)
                             raise SweepError(
-                                f"simulation failed for ({wl}, {pol}) after "
+                                f"simulation failed for ({wl}, {pol}, "
+                                f"seed={eff_seed}) after "
                                 f"{attempts[i]} attempts: {exc!r}",
                                 wl,
                                 pol,
+                                eff_seed,
                             ) from exc
                         pending.add(_submit(i))  # bounded re-queue, same pool
                     else:
@@ -376,7 +399,9 @@ def run_pairs(
             if restarts > MAX_POOL_RESTARTS:
                 raise SweepError(
                     f"worker pool died {restarts} times; "
-                    f"{total - len(results)}/{total} pairs unfinished"
+                    f"{total - len(results)}/{total} pairs unfinished "
+                    f"(seed={eff_seed})",
+                    seed=eff_seed,
                 )
     if manifest is not None:
         manifest.pool_restarts += restarts
@@ -436,9 +461,7 @@ def prefetch(
         seed=seed,
     )
     for wl, pol, res in results:
-        key = runner._key(wl, pol)
-        runner._mem_cache[key] = res
-        runner._store_disk(key, res)
+        runner.store_result(wl, pol, res)
     cost_model.save()
     runner.simulations_run += len(results)
     return len(results)

@@ -184,16 +184,35 @@ class ExperimentRunner:
     def run(self, workload: str | WorkloadSpec, policy: str) -> SimResult:
         """Simulate one (workload, policy) pair; cached."""
         wl_name = workload if isinstance(workload, str) else workload.name
-        key = self._key(wl_name, policy)
+        res = self.cached_result(wl_name, policy)
+        if res is None:
+            res = self._simulate(workload, policy)
+            self.store_result(wl_name, policy, res)
+        return res
+
+    def cached_result(self, workload: str, policy: str) -> SimResult | None:
+        """The cached result for a pair, or ``None`` — never simulates.
+
+        Checks the memory cache, then the disk cache (installing a disk hit
+        into memory so the next probe is free). This is the public dedup
+        probe: ``prefetch`` uses it to skip already-paid pairs, and the
+        service daemon uses it to answer a job from the caches before
+        queueing any execution.
+        """
+        key = self._key(workload, policy)
         res = self._mem_cache.get(key)
         if res is not None:
             return res
         res = self._load_disk(key)
-        if res is None:
-            res = self._simulate(workload, policy)
-            self._store_disk(key, res)
-        self._mem_cache[key] = res
+        if res is not None:
+            self._mem_cache[key] = res
         return res
+
+    def store_result(self, workload: str, policy: str, res: SimResult) -> None:
+        """Install a result into both caches (memory always, disk if on)."""
+        key = self._key(workload, policy)
+        self._mem_cache[key] = res
+        self._store_disk(key, res)
 
     def run_single(self, bench: str, policy: str = "icount") -> SimResult:
         """Simulate one benchmark running alone (Table 2(a) / baselines)."""

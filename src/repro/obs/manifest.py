@@ -24,8 +24,11 @@ from pathlib import Path
 
 __all__ = ["PAIR_SOURCES", "PairRecord", "RunManifest"]
 
-#: How a pair's result was obtained.
-PAIR_SOURCES = ("memory", "disk", "simulated")
+#: How a pair's result was obtained. ``memory``/``disk`` are the
+#: ExperimentRunner's two cache layers, ``simulated`` is an actual run, and
+#: ``store`` is the service daemon's persistent result store
+#: (``repro.service``), which fronts all three for repeat submissions.
+PAIR_SOURCES = ("memory", "disk", "simulated", "store")
 
 
 @dataclass
@@ -69,6 +72,19 @@ class RunManifest:
 
     # -- summaries -------------------------------------------------------
 
+    def latency_percentiles(self, qs: tuple[float, ...] = (50.0, 95.0)) -> dict[str, float]:
+        """Percentiles of per-pair seconds, e.g. ``{"p50": ..., "p95": ...}``.
+
+        Covers every recorded pair regardless of source (cache hits report
+        their near-zero serve time, which is the honest job-latency
+        distribution a service client experiences). Empty manifests report
+        zeros. The service's ``/metrics`` endpoint exposes these directly.
+        """
+        from repro.utils.mathx import percentile
+
+        secs = [p.secs for p in self.pairs]
+        return {f"p{q:g}": round(percentile(secs, q), 6) for q in qs}
+
     def summary(self) -> dict:
         """Roll-up: counts per source, total/max pair seconds, retries."""
         by_source = {s: 0 for s in PAIR_SOURCES}
@@ -109,6 +125,16 @@ class RunManifest:
         if s["slowest"]:
             lines.append(f"  slowest: {s['slowest']}")
         return "\n".join(lines)
+
+    def merge(self, other: "RunManifest") -> None:
+        """Fold another manifest's records into this one.
+
+        The service daemon runs each batch under its own manifest (so batch
+        failures cannot corrupt service-wide counters mid-flight) and merges
+        completed batches into the long-lived manifest ``/metrics`` reads.
+        """
+        self.pairs.extend(other.pairs)
+        self.pool_restarts += other.pool_restarts
 
     # -- export ----------------------------------------------------------
 

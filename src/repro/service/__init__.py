@@ -1,0 +1,69 @@
+"""repro.service — simulation-as-a-service: an asyncio HTTP daemon that
+accepts, queues, dedupes, batches and executes simulation jobs.
+
+Every experiment so far has been a one-shot CLI invocation; interactive
+what-if exploration (per-workload policy comparison across many clients)
+needs a long-lived process instead. ``dwarn-sim serve`` starts one:
+
+- **Protocol** (:mod:`repro.service.protocol`): a job is a canonicalized
+  :class:`JobSpec` — (workload, policy, machine preset, seed, measurement
+  windows). Identical specs hash to identical cache keys regardless of JSON
+  key order, which is what dedup and result caching key on.
+- **Queue** (:mod:`repro.service.queue`): bounded priority queue with
+  backpressure (a full queue surfaces as HTTP 429 + ``Retry-After``) and
+  coalescing — an identical in-flight spec gets the existing job back
+  instead of a second execution.
+- **Execution** (:mod:`repro.service.server`): jobs are grouped into batches
+  that share a machine/simulation configuration and handed to
+  ``experiments.parallel.run_pairs`` — the same longest-job-first cost
+  model, per-pair retry, and pool-restart-on-worker-death machinery the
+  sweep engine uses — with the persistent trace-artifact cache so a
+  workload's traces are generated once per batch, not once per job.
+- **Store** (:mod:`repro.service.store`): completed jobs persist a
+  ``RunManifest``-derived record into a JSONL-backed result store with TTL
+  eviction, reloaded on restart.
+- **Client** (:mod:`repro.service.client`): a blocking stdlib-only client
+  with timeouts, bounded retries and jittered backoff, used by the tests,
+  the CI smoke job and the examples in docs/SERVICE.md.
+
+Quickstart::
+
+    dwarn-sim serve --port 8177 &
+    python - <<'PY'
+    from repro.service import ServiceClient
+    client = ServiceClient("127.0.0.1", 8177)
+    job = client.submit({"workload": "2-MIX", "policy": "dwarn"})
+    print(client.wait(job["id"])["result"]["throughput"])
+    PY
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Job,
+    JobSpec,
+    JobState,
+    SpecError,
+)
+from repro.service.queue import JobQueue, QueueFull
+from repro.service.server import ServiceConfig, SimulationService, run_service
+from repro.service.store import STORE_VERSION, ResultStore
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "STORE_VERSION",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "QueueFull",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SimulationService",
+    "SpecError",
+    "run_service",
+]

@@ -1,0 +1,180 @@
+"""Blocking client for the simulation service (stdlib ``http.client`` only).
+
+The client is deliberately boring: one connection per request (the server
+replies ``Connection: close``), explicit timeouts, bounded retries with
+jittered exponential backoff on transport errors, and first-class handling
+of the server's backpressure signal — a ``429`` is not an error but an
+instruction, so ``submit`` sleeps the advertised ``Retry-After`` (capped)
+and tries again, up to ``backpressure_retries`` times.
+
+Used by the test suite, the CI smoke job (``repro.service.smoke``) and the
+examples in docs/SERVICE.md.
+
+Usage::
+
+    client = ServiceClient("127.0.0.1", 8177)
+    job = client.submit({"workload": "2-MIX", "policy": "dwarn"})
+    record = client.wait(job["id"], timeout=120)
+    print(record["result"]["throughput"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from typing import Any
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A request that conclusively failed (transport retries exhausted, or
+    an HTTP error status); carries ``status`` and the decoded ``body``."""
+
+    def __init__(self, message: str, status: int | None = None, body: Any = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Thin blocking wrapper over the service's five endpoints."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8177,
+        timeout: float = 10.0,
+        retries: int = 3,
+        backoff: float = 0.2,
+        backpressure_retries: int = 0,
+        max_retry_after: float = 5.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backpressure_retries = backpressure_retries
+        self.max_retry_after = max_retry_after
+        self._rng = rng or random.Random()
+
+    # -- transport -------------------------------------------------------
+
+    def _once(self, method: str, path: str, body: dict | None) -> tuple[int, Any, dict]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                decoded = json.loads(raw) if raw else None
+            except json.JSONDecodeError:
+                decoded = raw.decode("utf-8", "replace")
+            return resp.status, decoded, dict(resp.getheaders())
+        finally:
+            conn.close()
+
+    def request(self, method: str, path: str, body: dict | None = None) -> tuple[int, Any, dict]:
+        """One request with transport-level retries and jittered backoff.
+
+        Retries cover *connection* failures (refused, reset, timeout) —
+        the cases where no response was produced; HTTP statuses, including
+        429, are returned to the caller untouched.
+        """
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                return self._once(method, path, body)
+            except (ConnectionError, TimeoutError, OSError, http.client.HTTPException) as exc:
+                last = exc
+                if attempt < self.retries:
+                    # Full jitter: 50..100% of the exponential step, so a
+                    # burst of clients does not retry in lockstep.
+                    delay = self.backoff * (2**attempt)
+                    time.sleep(delay * (0.5 + 0.5 * self._rng.random()))
+        raise ServiceError(
+            f"{method} {path} failed after {self.retries + 1} attempts: {last!r}"
+        ) from last
+
+    # -- endpoints -------------------------------------------------------
+
+    def submit(self, spec: dict[str, Any], priority: int = 0) -> dict[str, Any]:
+        """POST a job spec; returns the job status payload.
+
+        A 429 is retried ``backpressure_retries`` times, honouring the
+        server's ``Retry-After`` (capped at ``max_retry_after`` seconds,
+        with jitter). With the default of 0 the 429 surfaces immediately as
+        a :class:`ServiceError` with ``status=429`` — callers doing their
+        own admission control (the e2e tests) want to *see* backpressure.
+        """
+        body = dict(spec)
+        if priority:
+            body["priority"] = priority
+        for attempt in range(self.backpressure_retries + 1):
+            status, payload, headers = self.request("POST", "/v1/jobs", body)
+            if status in (200, 202):
+                return payload
+            if status == 429 and attempt < self.backpressure_retries:
+                advertised = float(headers.get("Retry-After", 1.0))
+                delay = min(advertised, self.max_retry_after)
+                time.sleep(delay * (0.5 + 0.5 * self._rng.random()))
+                continue
+            raise ServiceError(
+                f"job submission failed: HTTP {status}: {payload}",
+                status=status,
+                body=payload,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """GET /v1/jobs/{id}."""
+        code, payload, _ = self.request("GET", f"/v1/jobs/{job_id}")
+        if code != 200:
+            raise ServiceError(f"status failed: HTTP {code}: {payload}", code, payload)
+        return payload
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """GET /v1/results/{id}; raises unless the job is terminal."""
+        code, payload, _ = self.request("GET", f"/v1/results/{job_id}")
+        if code != 200:
+            raise ServiceError(f"result not ready: HTTP {code}: {payload}", code, payload)
+        return payload
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll: float = 0.05) -> dict[str, Any]:
+        """Poll until the job is terminal; returns the result payload.
+
+        Raises :class:`ServiceError` on timeout or if the job failed/was
+        cancelled (the error payload rides along for diagnosis).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            st = self.status(job_id)
+            if st["state"] == "done":
+                return self.result(job_id)
+            if st["state"] in ("failed", "cancelled"):
+                raise ServiceError(
+                    f"job {job_id} {st['state']}: {st.get('error')}", body=st
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(f"timed out waiting for job {job_id} ({st['state']})")
+            time.sleep(poll)
+
+    def healthz(self) -> dict[str, Any]:
+        """GET /healthz — liveness plus every schema version."""
+        code, payload, _ = self.request("GET", "/healthz")
+        if code != 200:
+            raise ServiceError(f"healthz failed: HTTP {code}", code, payload)
+        return payload
+
+    def metrics(self) -> dict[str, Any]:
+        """GET /metrics — queue, cache, latency and executor counters."""
+        code, payload, _ = self.request("GET", "/metrics")
+        if code != 200:
+            raise ServiceError(f"metrics failed: HTTP {code}", code, payload)
+        return payload

@@ -1,0 +1,216 @@
+"""Service protocol: job specs, canonicalization, and job lifecycle records.
+
+A *job spec* names one simulation — (workload, policy, machine preset, seed,
+measurement windows) — exactly the key the result caches already use. The
+protocol's core guarantee is **canonicalization**: two specs that mean the
+same simulation produce byte-identical canonical JSON and therefore the same
+cache key, no matter how the client ordered its JSON keys or which optional
+fields it spelled out versus defaulted. Everything the service does with a
+spec — dedup against the disk caches, coalescing onto an in-flight job,
+batching by configuration group — keys on that canonical form.
+
+This module is pure data + validation: it imports config types but nothing
+from the server, queue, or store (they all import it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import Any, Mapping
+
+from repro.config import PRESETS, SimulationConfig, get_preset, MachineConfig
+from repro.utils.rng import stable_hash64
+
+__all__ = ["PROTOCOL_VERSION", "Job", "JobSpec", "JobState", "SpecError"]
+
+#: Wire-format version, folded into every cache key: bumping it orphans
+#: (never corrupts) records written by older servers.
+PROTOCOL_VERSION = 1
+
+#: Bounds on the measurement knobs a client may request: the service is a
+#: shared resource, so a single job cannot ask for an unbounded simulation.
+MAX_MEASURE_CYCLES = 2_000_000
+MAX_TRACE_LENGTH = 2_000_000
+
+
+class SpecError(ValueError):
+    """A job spec failed validation; ``str(exc)`` is the client-facing why."""
+
+
+class JobState:
+    """Job lifecycle states (plain strings so they serialize as-is)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States that will never change again.
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One requested simulation, in canonical field order.
+
+    Field defaults mirror the CLI's (``dwarn-sim run``), so a spec naming
+    only ``workload`` and ``policy`` reproduces what the CLI would run.
+    """
+
+    workload: str
+    policy: str
+    machine: str = "baseline"
+    seed: int = 12345
+    warmup_cycles: int = 5_000
+    measure_cycles: int = 40_000
+    trace_length: int = 60_000
+
+    _INT_FIELDS = ("seed", "warmup_cycles", "measure_cycles", "trace_length")
+
+    # -- construction / validation -------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        """Build a validated spec from client JSON (key order irrelevant).
+
+        Unknown keys are rejected rather than ignored: a typo like
+        ``"polcy"`` silently falling back to the default would return a
+        *wrong result that looks right* — the worst failure mode a result
+        cache can have.
+        """
+        if not isinstance(data, Mapping):
+            raise SpecError(f"job spec must be a JSON object, got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown job-spec field(s): {', '.join(unknown)}")
+        for req in ("workload", "policy"):
+            if req not in data:
+                raise SpecError(f"job spec missing required field {req!r}")
+        kwargs: dict[str, Any] = dict(data)
+        for name in cls._INT_FIELDS:
+            if name in kwargs:
+                value = kwargs[name]
+                # bool is an int subclass; reject it explicitly.
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise SpecError(f"job-spec field {name!r} must be an integer")
+        spec = cls(**kwargs)
+        spec.validate()
+        return spec
+
+    def validate(self) -> None:
+        """Check field types and bounds; raises :class:`SpecError`.
+
+        Workload/policy *names* are validated by the server against its
+        registries (so the error can list what is available); here we check
+        everything that is knowable from the spec alone.
+        """
+        if not isinstance(self.workload, str) or not self.workload:
+            raise SpecError("workload must be a non-empty string")
+        if not isinstance(self.policy, str) or not self.policy:
+            raise SpecError("policy must be a non-empty string")
+        if self.machine not in PRESETS:
+            raise SpecError(
+                f"unknown machine {self.machine!r}; valid: {sorted(PRESETS)}"
+            )
+        if self.warmup_cycles < 0:
+            raise SpecError("warmup_cycles must be non-negative")
+        if not 0 < self.measure_cycles <= MAX_MEASURE_CYCLES:
+            raise SpecError(f"measure_cycles must be in 1..{MAX_MEASURE_CYCLES}")
+        if not 0 < self.trace_length <= MAX_TRACE_LENGTH:
+            raise SpecError(f"trace_length must be in 1..{MAX_TRACE_LENGTH}")
+
+    # -- canonical form -------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form of the spec (the wire/store representation)."""
+        return dataclasses.asdict(self)
+
+    def canonical_json(self) -> str:
+        """Byte-stable canonical encoding: sorted keys, no whitespace.
+
+        Every spelling of the same spec — reordered keys, defaulted versus
+        explicit optional fields — lands on this exact string; the cache
+        key is a hash of it.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def cache_key(self) -> str:
+        """Stable dedup/store key for this spec (hex, 16 chars)."""
+        return f"{stable_hash64(PROTOCOL_VERSION, self.canonical_json()):016x}"
+
+    def group_key(self) -> tuple:
+        """Batching key: jobs sharing it can run in one ``run_pairs`` call
+        (same machine and simulation config; only workload/policy differ),
+        which is what lets one batch share trace artifacts per workload."""
+        return (self.machine, self.seed, self.warmup_cycles,
+                self.measure_cycles, self.trace_length)
+
+    # -- config materialization -----------------------------------------
+
+    def sim_config(self) -> SimulationConfig:
+        """The ``SimulationConfig`` this spec describes."""
+        return SimulationConfig(
+            warmup_cycles=self.warmup_cycles,
+            measure_cycles=self.measure_cycles,
+            trace_length=self.trace_length,
+            seed=self.seed,
+        )
+
+    def machine_config(self) -> MachineConfig:
+        """Resolve the named machine preset."""
+        return get_preset(self.machine)
+
+
+@dataclasses.dataclass
+class Job:
+    """One accepted job's lifecycle record (what ``GET /v1/jobs/{id}`` shows).
+
+    Several submissions may share one ``Job``: coalesced duplicates all hold
+    the object created by the first submission, so completing it completes
+    every client polling that id.
+    """
+
+    id: str
+    spec: JobSpec
+    priority: int = 0
+    state: str = JobState.QUEUED
+    submitted_at: float = dataclasses.field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    source: str | None = None        # "simulated" | "disk" | "memory" | "coalesced"
+    error: str | None = None
+    retries: int = 0
+    coalesced: int = 0               # how many duplicate submissions joined
+    result: dict[str, Any] | None = None
+
+    @property
+    def key(self) -> str:
+        return self.spec.cache_key()
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-finish wall clock, once terminal."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def status_dict(self) -> dict[str, Any]:
+        """Public status payload (no result body — that is ``/v1/results``)."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "key": self.key,
+            "priority": self.priority,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "source": self.source,
+            "error": self.error,
+            "retries": self.retries,
+            "coalesced": self.coalesced,
+        }

@@ -1,0 +1,149 @@
+"""Bounded priority job queue with dedup/coalescing and batch extraction.
+
+The queue is the service's admission-control point, and it enforces three
+policies the HTTP layer surfaces directly:
+
+- **Backpressure.** Capacity counts *queued* jobs (running ones have already
+  left). A full queue raises :class:`QueueFull` carrying a ``retry_after``
+  hint, which the server turns into ``429`` + ``Retry-After`` — clients are
+  told to come back, not silently buffered into an unbounded heap.
+- **Coalescing.** A spec identical to a queued or running job joins that
+  job instead of creating a second execution: ``submit`` returns the
+  existing :class:`~repro.service.protocol.Job` with ``coalesced`` bumped.
+  Identity is the spec's canonical cache key, so JSON key order and
+  defaulted-versus-explicit fields cannot defeat it.
+- **Batching.** ``next_batch`` pops the highest-priority job and drains
+  up to ``batch_max - 1`` more queued jobs sharing its config group
+  (:meth:`JobSpec.group_key`). One batch becomes one
+  ``experiments.parallel.run_pairs`` call, whose workers share the
+  persistent trace-artifact cache — so a workload appearing in several jobs
+  of a batch generates its traces exactly once.
+
+Pure in-memory data structure, asyncio-agnostic and lock-free by design:
+the server calls it only from the event-loop thread. Waiting for work is
+the caller's job (the server keeps an ``asyncio.Event``); this module never
+blocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.service.protocol import Job, JobState
+
+__all__ = ["JobQueue", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Queue at capacity; ``retry_after`` is the client back-off hint (s)."""
+
+    def __init__(self, capacity: int, retry_after: float) -> None:
+        super().__init__(f"job queue full ({capacity} queued)")
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class JobQueue:
+    """Priority queue of :class:`Job` with coalescing and bounded depth.
+
+    Ordering is ``(priority, submission sequence)`` — lower priority value
+    first, FIFO within a priority level. The heap holds only *queued* jobs;
+    an index by cache key additionally tracks *running* jobs so duplicates
+    coalesce onto in-flight work, not just onto queued work.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        #: cache key -> Job, for every job that is queued or running.
+        self._active: dict[str, Job] = {}
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of *queued* (not yet dispatched) jobs."""
+        return len(self._heap)
+
+    @property
+    def running(self) -> int:
+        """Number of dispatched-but-unfinished jobs."""
+        return len(self._active) - len(self._heap)
+
+    def find(self, key: str) -> Job | None:
+        """The queued/running job for a cache key, if any."""
+        return self._active.get(key)
+
+    # -- admission -------------------------------------------------------
+
+    def submit(self, job: Job, retry_after: float = 1.0) -> tuple[Job, bool]:
+        """Admit a job; returns ``(job, coalesced)``.
+
+        If an identical spec is already queued or running, the *existing*
+        job is returned with ``coalesced`` incremented and the new job is
+        discarded (it never existed as far as clients are concerned). A
+        genuinely new job is heap-pushed, or :class:`QueueFull` is raised
+        when the queue is at capacity — coalescing is checked first, so
+        duplicates are accepted even when the queue is full (they cost
+        nothing to serve).
+        """
+        existing = self._active.get(job.key)
+        if existing is not None:
+            existing.coalesced += 1
+            return existing, True
+        if len(self._heap) >= self.capacity:
+            raise QueueFull(self.capacity, retry_after)
+        self._active[job.key] = job
+        heapq.heappush(self._heap, (job.priority, next(self._seq), job))
+        return job, False
+
+    # -- dispatch --------------------------------------------------------
+
+    def next_batch(self, batch_max: int) -> list[Job]:
+        """Pop the best job plus queued peers from the same config group.
+
+        Returns up to ``batch_max`` jobs whose specs share a
+        ``group_key()`` (identical machine + simulation config), in
+        priority order; the peers are removed from the heap regardless of
+        their position. Returns ``[]`` when the queue is empty. Popped jobs
+        stay in the active index (they are now *running*) until
+        :meth:`finish` is called for them.
+        """
+        if not self._heap:
+            return []
+        _, _, head = heapq.heappop(self._heap)
+        batch = [head]
+        if batch_max > 1:
+            group = head.spec.group_key()
+            keep: list[tuple[int, int, Job]] = []
+            taken = 1
+            for entry in sorted(self._heap):
+                if taken < batch_max and entry[2].spec.group_key() == group:
+                    batch.append(entry[2])
+                    taken += 1
+                else:
+                    keep.append(entry)
+            if taken > 1:
+                heapq.heapify(keep)
+                self._heap = keep
+        return batch
+
+    def finish(self, job: Job) -> None:
+        """Drop a terminal job from the active index (duplicates of its
+        spec submitted later will start a fresh execution — by then the
+        result store serves them instead)."""
+        self._active.pop(job.key, None)
+
+    def cancel_queued(self, reason: str) -> list[Job]:
+        """Cancel every still-queued job (shutdown drain); returns them."""
+        cancelled: list[Job] = []
+        for _, _, job in self._heap:
+            job.state = JobState.CANCELLED
+            job.error = reason
+            self._active.pop(job.key, None)
+            cancelled.append(job)
+        self._heap.clear()
+        return cancelled

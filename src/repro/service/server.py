@@ -1,0 +1,599 @@
+"""The simulation service daemon: asyncio HTTP/1.1 front end + batch executor.
+
+One process, one event loop, zero new dependencies: HTTP is parsed by hand
+on ``asyncio`` streams (request line, headers, ``Content-Length`` body —
+the subset a JSON API needs), and simulation work runs in
+``experiments.parallel.run_pairs`` on a worker thread so the loop stays
+responsive while batches execute.
+
+Request lifecycle::
+
+    POST /v1/jobs
+      -> spec canonicalized (repro.service.protocol)
+      -> result store hit?          200, source="store"   (no execution)
+      -> runner disk/mem cache hit? 200, source="disk"    (no execution)
+      -> identical job in flight?   200, coalesced onto it
+      -> queue has room?            202, job queued
+      -> else                       429 + Retry-After     (backpressure)
+
+The dispatcher pops priority-ordered batches of config-compatible jobs
+(:meth:`repro.service.queue.JobQueue.next_batch`) and executes each as one
+``run_pairs`` call — inheriting the sweep engine's longest-job-first cost
+model, per-pair retry, and pool-restart-on-worker-death supervision — with
+the persistent trace-artifact cache, so a workload shared by several jobs
+generates its traces once. Completed jobs land in both the
+``ExperimentRunner`` result caches (the CLI sees them) and the JSONL result
+store (restarts and ``GET /v1/results`` see them).
+
+Shutdown (SIGTERM/SIGINT) is a drain, not an abort: the listener closes,
+queued-but-unstarted jobs are cancelled, the in-flight batch runs to
+completion and is persisted, then the store is compacted and the process
+exits 0 — the behaviour the e2e test pins.
+
+Observability: the daemon keeps two ``repro.obs.RunManifest``s — one
+recording a pair per *completed job* (submit-to-finish latency by source;
+``/metrics`` reports its p50/p95) and one accumulating the *execution*
+records ``run_pairs`` writes (in-worker seconds, retries, pool restarts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import json
+import signal
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+import repro
+from repro.core import POLICIES, SimResult
+from repro.experiments.parallel import SweepCostModel, run_pairs
+from repro.experiments.runner import CACHE_VERSION, ExperimentRunner
+from repro.obs.manifest import RunManifest
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Job,
+    JobSpec,
+    JobState,
+    SpecError,
+)
+from repro.service.queue import JobQueue, QueueFull
+from repro.service.store import STORE_VERSION, ResultStore
+from repro.trace import PROFILES
+from repro.trace.artifact import schema_info
+from repro.workloads import WORKLOADS
+
+__all__ = ["ServiceConfig", "SimulationService", "result_payload", "run_service"]
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Largest request body accepted (a job spec is <1 KB; anything bigger is
+#: not a spec).
+MAX_BODY_BYTES = 64 * 1024
+
+#: Per-connection read timeout: a stalled client cannot pin a handler task.
+READ_TIMEOUT = 30.0
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``dwarn-sim serve`` configures."""
+
+    host: str = "127.0.0.1"
+    port: int = 8177                      # 0 = ephemeral (OS-assigned)
+    queue_capacity: int = 64
+    batch_max: int = 8                    # jobs fused into one run_pairs call
+    processes: int = 1                    # worker processes per batch
+    retries: int = 1                      # per-pair retries inside a batch
+    ttl: float | None = None              # result-store TTL seconds
+    store_path: str | None = None         # None = in-memory store
+    cache_dir: str | None = None          # ExperimentRunner result cache
+    trace_cache_dir: str | None = None    # persistent trace artifacts
+    max_jobs: int = 4096                  # terminal jobs kept addressable
+    dispatch_delay: float = 0.0           # test hook: sleep before each batch
+    port_file: str | None = None          # write the bound port here
+
+
+def result_payload(res: SimResult) -> dict[str, Any]:
+    """JSON-safe result body: the full ``SimResult`` plus derived totals."""
+    d = dataclasses.asdict(res)
+    d["benchmarks"] = list(d["benchmarks"])
+    d["throughput"] = res.throughput
+    return d
+
+
+class SimulationService:
+    """State and routes of one daemon instance (see module docstring)."""
+
+    def __init__(self, cfg: ServiceConfig) -> None:
+        self.cfg = cfg
+        self.queue = JobQueue(cfg.queue_capacity)
+        self.store = ResultStore(cfg.store_path, ttl=cfg.ttl)
+        #: All known jobs by id, oldest first; trimmed to ``max_jobs``
+        #: terminal entries so a long-lived daemon cannot leak memory.
+        self.jobs: OrderedDict[str, Job] = OrderedDict()
+        #: One ExperimentRunner per config group: shares mem/disk caches
+        #: exactly the way the CLI report does.
+        self._runners: dict[tuple, ExperimentRunner] = {}
+        self.job_manifest = RunManifest(label="service-jobs")
+        self.exec_manifest = RunManifest(label="service-exec")
+        self.counters = {
+            "submitted": 0,
+            "queued": 0,
+            "coalesced": 0,
+            "store_hits": 0,
+            "cache_hits": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "batches": 0,
+        }
+        self.started_at = time.time()
+        self.port: int | None = None
+        self._wake = asyncio.Event()
+        self._shutdown = asyncio.Event()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def serve(self) -> int:
+        """Run the daemon until SIGTERM/SIGINT; returns the exit status."""
+        loaded = self.store.load()
+        server = await asyncio.start_server(self._handle_conn, self.cfg.host, self.cfg.port)
+        self.port = server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):  # non-Unix loops
+                loop.add_signal_handler(sig, self.request_shutdown)
+        if self.cfg.port_file:
+            Path(self.cfg.port_file).write_text(str(self.port))
+        print(
+            f"dwarn-sim service listening on http://{self.cfg.host}:{self.port} "
+            f"(queue={self.cfg.queue_capacity}, batch={self.cfg.batch_max}, "
+            f"processes={self.cfg.processes}, {loaded} stored results loaded)",
+            flush=True,
+        )
+        dispatcher = asyncio.create_task(self._dispatch_loop())
+        await self._shutdown.wait()
+
+        # Drain: stop accepting, cancel what never started, finish what did.
+        server.close()
+        await server.wait_closed()
+        now = time.time()
+        for job in self.queue.cancel_queued("server shutting down"):
+            job.finished_at = now
+            self.counters["cancelled"] += 1
+        self._wake.set()  # unblock the dispatcher so it can observe the drain
+        await dispatcher
+        live = self.store.compact()
+        print(
+            f"dwarn-sim service drained: {self.counters['completed']} completed, "
+            f"{self.counters['cancelled']} cancelled, {live} stored results persisted",
+            flush=True,
+        )
+        return 0
+
+    def request_shutdown(self) -> None:
+        """Begin the drain (signal handler; also callable from tests)."""
+        self._draining = True
+        self._shutdown.set()
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            if self._draining:
+                # serve() has already cancelled the queued jobs (or is about
+                # to); anything this loop already started has finished by the
+                # time we are back here, so the drain is complete.
+                return
+            if not len(self.queue):
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            if self.cfg.dispatch_delay:
+                # Interruptible sleep: a SIGTERM mid-delay must not stall
+                # the drain for the remainder of the delay.
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        self._shutdown.wait(), self.cfg.dispatch_delay
+                    )
+                if self._draining:
+                    return
+            batch = self.queue.next_batch(self.cfg.batch_max)
+            if batch:
+                await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[Job]) -> None:
+        """Execute one config-homogeneous batch via ``run_pairs``.
+
+        Jobs naming the same (workload, policy) within the batch share one
+        pair execution; the pair's manifest record (in-worker seconds,
+        retries) is attached to every job it completed. A batch that aborts
+        (``SweepError`` after retries/pool restarts) fails all its jobs with
+        the error message — the sweep engine already retried below us.
+        """
+        spec0 = batch[0].spec
+        machine = spec0.machine_config()
+        simcfg = spec0.sim_config()
+        by_pair: dict[tuple[str, str], list[Job]] = {}
+        now = time.time()
+        for job in batch:
+            job.state = JobState.RUNNING
+            job.started_at = now
+            by_pair.setdefault((job.spec.workload, job.spec.policy), []).append(job)
+        pairs = list(by_pair)
+        batch_manifest = RunManifest(label="batch")
+        cost_model = SweepCostModel.for_cache_dir(self.cfg.cache_dir)
+        self.counters["batches"] += 1
+        try:
+            results = await asyncio.to_thread(
+                run_pairs,
+                machine,
+                simcfg,
+                pairs,
+                self.cfg.processes,
+                trace_cache_dir=self.cfg.trace_cache_dir,
+                cost_model=cost_model,
+                retries=self.cfg.retries,
+                manifest=batch_manifest,
+                sweep="service",
+                seed=simcfg.seed,
+            )
+        except Exception as exc:
+            for job in batch:
+                self._fail_job(job, str(exc))
+            return
+        cost_model.save()
+        pair_recs = {(p.workload, p.policy): asdict(p) for p in batch_manifest.pairs}
+        runner = self._runner_for(spec0)
+        for wl, pol, res in results:
+            runner.store_result(wl, pol, res)
+            for job in by_pair[(wl, pol)]:
+                self._complete_job(job, res, "simulated", pair=pair_recs.get((wl, pol)))
+        self.exec_manifest.merge(batch_manifest)
+
+    # ------------------------------------------------------------------
+    # Job bookkeeping
+
+    def _runner_for(self, spec: JobSpec) -> ExperimentRunner:
+        group = spec.group_key()
+        runner = self._runners.get(group)
+        if runner is None:
+            runner = ExperimentRunner(
+                spec.machine,
+                spec.sim_config(),
+                cache_dir=self.cfg.cache_dir,
+                trace_cache_dir=self.cfg.trace_cache_dir,
+            )
+            self._runners[group] = runner
+        return runner
+
+    def _register(self, job: Job) -> None:
+        self.jobs[job.id] = job
+        # Bound the in-memory job table: evict the oldest *terminal* jobs
+        # (their results remain addressable through the store).
+        while len(self.jobs) > self.cfg.max_jobs:
+            for jid, old in self.jobs.items():
+                if old.state in JobState.TERMINAL:
+                    del self.jobs[jid]
+                    break
+            else:
+                break  # everything is live; never evict a pending job
+
+    def _complete_job(
+        self,
+        job: Job,
+        res: SimResult,
+        source: str,
+        pair: dict[str, Any] | None = None,
+    ) -> None:
+        job.state = JobState.DONE
+        job.finished_at = time.time()
+        job.source = source
+        job.result = result_payload(res)
+        if pair is not None:
+            job.retries = int(pair.get("retries", 0))
+        self.queue.finish(job)
+        self.counters["completed"] += 1
+        self.job_manifest.record_pair(
+            "service",
+            job.spec.workload,
+            job.spec.policy,
+            source,
+            job.latency or 0.0,
+            retries=job.retries,
+            seed=job.spec.seed,
+        )
+        self.store.add(ResultStore.make_record(job, pair))
+
+    def _fail_job(self, job: Job, error: str) -> None:
+        job.state = JobState.FAILED
+        job.finished_at = time.time()
+        job.error = error
+        self.queue.finish(job)
+        self.counters["failed"] += 1
+
+    def _retry_after(self) -> int:
+        """Client back-off hint when the queue is full: roughly one p50 job
+        latency (what draining one slot costs), at least a second."""
+        p50 = self.job_manifest.latency_percentiles((50.0,))["p50"]
+        return max(1, round(p50))
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload, extra = 500, {"error": "internal error"}, {}
+        try:
+            try:
+                request = await asyncio.wait_for(reader.readline(), READ_TIMEOUT)
+                parts = request.decode("latin-1").split()
+                if len(parts) < 2:
+                    return  # not HTTP; drop silently
+                method, path = parts[0].upper(), parts[1]
+                headers: dict[str, str] = {}
+                while True:
+                    line = await asyncio.wait_for(reader.readline(), READ_TIMEOUT)
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", 0) or 0)
+                if length > MAX_BODY_BYTES:
+                    status, payload = 413, {"error": "request body too large"}
+                else:
+                    body = (
+                        await asyncio.wait_for(reader.readexactly(length), READ_TIMEOUT)
+                        if length
+                        else b""
+                    )
+                    status, payload, extra = self._route(method, path, body)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError, UnicodeDecodeError):
+                return
+            except Exception as exc:  # route bug: report, don't kill the server
+                status, payload, extra = 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+            data = (json.dumps(payload) + "\n").encode("utf-8")
+            head = [
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(data)}",
+                "Connection: close",
+            ]
+            head.extend(f"{k}: {v}" for k, v in extra.items())
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + data)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # client went away mid-reply
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Dispatch one request; returns (status, JSON payload, extra headers)."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return 200, self._healthz(), {}
+        if path == "/metrics" and method == "GET":
+            return 200, self._metrics(), {}
+        if path == "/v1/jobs":
+            if method != "POST":
+                return 405, {"error": "use POST to submit a job"}, {}
+            return self._submit(body)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._job_status(path.removeprefix("/v1/jobs/"))
+        if path.startswith("/v1/results/") and method == "GET":
+            return self._job_result(path.removeprefix("/v1/results/"))
+        return 404, {"error": f"no such endpoint: {method} {path}"}, {}
+
+    # ------------------------------------------------------------------
+    # Routes
+
+    def _submit(self, body: bytes) -> tuple[int, dict[str, Any], dict[str, str]]:
+        if self._draining:
+            return 409, {"error": "server is shutting down"}, {}
+        try:
+            data = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}, {}
+        if not isinstance(data, dict):
+            return 400, {"error": "job spec must be a JSON object"}, {}
+        priority = data.pop("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            return 400, {"error": "priority must be an integer"}, {}
+        try:
+            spec = JobSpec.from_dict(data)
+        except SpecError as exc:
+            return 400, {"error": str(exc)}, {}
+        if spec.workload not in WORKLOADS and spec.workload not in PROFILES:
+            return 400, {
+                "error": f"unknown workload {spec.workload!r}",
+                "workloads": sorted(WORKLOADS),
+                "benchmarks": sorted(PROFILES),
+            }, {}
+        if spec.policy not in POLICIES:
+            return 400, {
+                "error": f"unknown policy {spec.policy!r}",
+                "policies": sorted(POLICIES),
+            }, {}
+        self.counters["submitted"] += 1
+
+        # Dedup tier 1: the persistent result store.
+        rec = self.store.get_by_key(spec.cache_key())
+        if rec is not None and rec.get("result") is not None:
+            job = self._job_from_record(spec, priority, rec)
+            self.counters["store_hits"] += 1
+            return 200, job.status_dict(), {}
+
+        # Dedup tier 2: the ExperimentRunner disk/memory caches.
+        runner = self._runner_for(spec)
+        res = runner.cached_result(spec.workload, spec.policy)
+        if res is not None:
+            job = Job(id=self._new_id(), spec=spec, priority=priority)
+            self._register(job)
+            self._complete_job(job, res, "disk")
+            self.counters["cache_hits"] += 1
+            return 200, job.status_dict(), {}
+
+        # Dedup tier 3: coalesce onto an identical queued/running job.
+        job = Job(id=self._new_id(), spec=spec, priority=priority)
+        try:
+            admitted, coalesced = self.queue.submit(job, retry_after=self._retry_after())
+        except QueueFull as exc:
+            self.counters["rejected"] += 1
+            return (
+                429,
+                {
+                    "error": str(exc),
+                    "retry_after": exc.retry_after,
+                    "queue_depth": len(self.queue),
+                },
+                {"Retry-After": str(int(exc.retry_after))},
+            )
+        if coalesced:
+            self.counters["coalesced"] += 1
+            return 200, admitted.status_dict(), {}
+        self._register(admitted)
+        self.counters["queued"] += 1
+        self._wake.set()
+        return 202, admitted.status_dict(), {}
+
+    def _job_from_record(self, spec: JobSpec, priority: int, rec: dict[str, Any]) -> Job:
+        """A fresh DONE job served entirely from a stored record."""
+        now = time.time()
+        job = Job(
+            id=self._new_id(),
+            spec=spec,
+            priority=priority,
+            state=JobState.DONE,
+            submitted_at=now,
+            finished_at=now,
+            source="store",
+            result=rec.get("result"),
+        )
+        self._register(job)
+        self.counters["completed"] += 1
+        self.job_manifest.record_pair(
+            "service", spec.workload, spec.policy, "store", 0.0, seed=spec.seed
+        )
+        # Make the new id resolvable via /v1/results after a restart too.
+        self.store.add(ResultStore.make_record(job, rec.get("pair")))
+        self.queue.finish(job)  # no-op unless a stale key lingers
+        return job
+
+    def _job_status(self, job_id: str) -> tuple[int, dict[str, Any], dict[str, str]]:
+        job = self.jobs.get(job_id)
+        if job is not None:
+            return 200, job.status_dict(), {}
+        rec = self.store.get_by_id(job_id)
+        if rec is not None:
+            return 200, {k: v for k, v in rec.items() if k != "result"}, {}
+        return 404, {"error": f"unknown job {job_id!r}"}, {}
+
+    def _job_result(self, job_id: str) -> tuple[int, dict[str, Any], dict[str, str]]:
+        job = self.jobs.get(job_id)
+        if job is not None:
+            if job.state == JobState.DONE:
+                return 200, {
+                    "id": job.id,
+                    "state": job.state,
+                    "source": job.source,
+                    "spec": job.spec.to_dict(),
+                    "result": job.result,
+                }, {}
+            if job.state in JobState.TERMINAL:  # failed / cancelled
+                return 200, {
+                    "id": job.id,
+                    "state": job.state,
+                    "error": job.error,
+                    "spec": job.spec.to_dict(),
+                    "result": None,
+                }, {}
+            return 409, {
+                "error": f"job {job_id} is {job.state}; result not ready",
+                "state": job.state,
+            }, {}
+        rec = self.store.get_by_id(job_id)
+        if rec is not None:
+            return 200, {
+                "id": rec["id"],
+                "state": rec["state"],
+                "source": rec["source"],
+                "spec": rec["spec"],
+                "result": rec["result"],
+            }, {}
+        return 404, {"error": f"unknown job {job_id!r}"}, {}
+
+    def _healthz(self) -> dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "version": repro.__version__,
+            "protocol_version": PROTOCOL_VERSION,
+            "store_version": STORE_VERSION,
+            "result_cache_version": CACHE_VERSION,
+            "trace_artifact": schema_info(),
+            "uptime_secs": round(time.time() - self.started_at, 3),
+            "stored_results": len(self.store),
+        }
+
+    def _metrics(self) -> dict[str, Any]:
+        c = self.counters
+        submitted = c["submitted"]
+        served_without_execution = c["store_hits"] + c["cache_hits"] + c["coalesced"]
+        return {
+            "queue": {
+                "depth": len(self.queue),
+                "capacity": self.cfg.queue_capacity,
+                "in_flight": self.queue.running,
+            },
+            "jobs": dict(c),
+            "cache": {
+                "store_hits": c["store_hits"],
+                "runner_cache_hits": c["cache_hits"],
+                "coalesced": c["coalesced"],
+                "hit_ratio": round(served_without_execution / submitted, 4)
+                if submitted
+                else 0.0,
+            },
+            "latency": self.job_manifest.latency_percentiles((50.0, 95.0)),
+            "by_source": self.job_manifest.summary()["by_source"],
+            "exec": {
+                "pairs_executed": len(self.exec_manifest.pairs),
+                "pool_restarts": self.exec_manifest.pool_restarts,
+                "batches": c["batches"],
+            },
+        }
+
+    @staticmethod
+    def _new_id() -> str:
+        return uuid.uuid4().hex[:16]
+
+
+def run_service(cfg: ServiceConfig) -> int:
+    """Blocking entry point (what ``dwarn-sim serve`` calls)."""
+    service = SimulationService(cfg)
+    return asyncio.run(service.serve())

@@ -1,0 +1,126 @@
+"""Service smoke check: boot a real server, run one job through it, drain.
+
+``python -m repro.service.smoke`` is CI's service gate. It starts
+``dwarn-sim serve`` as a subprocess on an ephemeral port (the bound port is
+discovered through ``--port-file``), submits one small two-thread job via
+:class:`repro.service.client.ServiceClient`, asserts a completed result and
+a clean ``/healthz``, then SIGTERMs the server and requires a clean drain
+(exit status 0). Everything runs at test scale (~seconds), so the gate
+verifies wiring — daemon boot, HTTP framing, queue, executor, store,
+signal drain — not simulation fidelity (tier-1 tests own that).
+
+Exit status: 0 on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service.client import ServiceClient
+
+__all__ = ["main"]
+
+#: Small-but-real job: two threads, short windows (seconds, not minutes).
+SMOKE_SPEC = {
+    "workload": "2-MIX",
+    "policy": "dwarn",
+    "seed": 7,
+    "warmup_cycles": 200,
+    "measure_cycles": 1_500,
+    "trace_length": 6_000,
+}
+
+
+def _wait_for_port_file(path: Path, proc: subprocess.Popen, timeout: float = 30.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server exited early with status {proc.returncode}")
+        text = path.read_text().strip() if path.exists() else ""
+        if text:
+            return int(text)
+        time.sleep(0.05)
+    raise RuntimeError(f"server did not write {path} within {timeout}s")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the smoke sequence; prints progress and returns an exit status."""
+    tmp = Path(tempfile.mkdtemp(prefix="dwarn-smoke-"))
+    port_file = tmp / "port"
+    store = tmp / "results.jsonl"
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--port",
+        "0",
+        "--port-file",
+        str(port_file),
+        "--store",
+        str(store),
+        "--cache-dir",
+        str(tmp / "cache"),
+        "--trace-cache",
+        str(tmp / "traces"),
+        "--processes",
+        "1",
+    ]
+    proc = subprocess.Popen(cmd)
+    try:
+        port = _wait_for_port_file(port_file, proc)
+        print(f"smoke: server up on port {port}")
+        client = ServiceClient("127.0.0.1", port, timeout=30.0)
+
+        health = client.healthz()
+        if health["status"] != "ok":
+            raise RuntimeError(f"unhealthy at boot: {health}")
+        print(f"smoke: healthz ok (version {health['version']})")
+
+        job = client.submit(SMOKE_SPEC)
+        print(f"smoke: submitted job {job['id']} ({job['state']})")
+        record = client.wait(job["id"], timeout=120.0)
+        result = record["result"]
+        if record["state"] != "done" or not result:
+            raise RuntimeError(f"job did not complete: {record}")
+        if len(result["ipc"]) != 2 or result["throughput"] <= 0:
+            raise RuntimeError(f"implausible result: {result}")
+        print(
+            f"smoke: job done, throughput={result['throughput']:.3f} "
+            f"(source={record['source']})"
+        )
+
+        # A duplicate submission must be served without a second execution.
+        dup = client.submit(SMOKE_SPEC)
+        if dup["state"] != "done" or dup["source"] not in ("store", "disk", "memory"):
+            raise RuntimeError(f"duplicate was not cache-served: {dup}")
+        print(f"smoke: duplicate served from {dup['source']}")
+
+        health = client.healthz()
+        if health["status"] != "ok" or health["stored_results"] < 1:
+            raise RuntimeError(f"unhealthy after job: {health}")
+
+        proc.send_signal(signal.SIGTERM)
+        status = proc.wait(timeout=60)
+        if status != 0:
+            raise RuntimeError(f"server exited {status} on SIGTERM (want clean drain)")
+        if not store.exists() or SMOKE_SPEC["workload"] not in store.read_text():
+            raise RuntimeError("result store was not persisted across the drain")
+        print("smoke: clean SIGTERM drain, result store persisted — OK")
+        return 0
+    except Exception as exc:
+        print(f"smoke: FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,7 +35,12 @@ from repro.trace.synthetic import (
     set_trace_artifact_cache,
     trace_cache_stats,
 )
-from repro.trace.artifact import ARTIFACT_VERSION, TraceArtifactCache, trace_cache_installed
+from repro.trace.artifact import (
+    ARTIFACT_VERSION,
+    TraceArtifactCache,
+    schema_info,
+    trace_cache_installed,
+)
 from repro.trace.wrongpath import WrongPathSupplier
 from repro.trace.address_space import AddressSpace
 
@@ -53,6 +58,7 @@ __all__ = [
     "trace_cache_stats",
     "ARTIFACT_VERSION",
     "TraceArtifactCache",
+    "schema_info",
     "trace_cache_installed",
     "WrongPathSupplier",
     "AddressSpace",

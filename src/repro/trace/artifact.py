@@ -71,6 +71,7 @@ from repro.utils.rng import stable_hash64
 __all__ = [
     "ARTIFACT_VERSION",
     "TraceArtifactCache",
+    "schema_info",
     "trace_cache_installed",
 ]
 
@@ -95,6 +96,23 @@ _FIELDS: tuple[tuple[str, str], ...] = (
 )
 
 _I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+def schema_info() -> dict[str, object]:
+    """Machine-readable description of the on-disk artifact format.
+
+    ``dwarn-sim version`` and the service's ``/healthz`` report this so the
+    schema a deployment writes is discoverable without reading source; the
+    fields are the ones a reader needs to recognize (or rule out) a file.
+    """
+    return {
+        "version": ARTIFACT_VERSION,
+        "magic": _MAGIC.decode("ascii"),
+        "suffix": ".dwtrace",
+        "header_bytes": _HEADER.size,
+        "record_bytes": sum(8 if t == "q" else 1 for t, _ in _FIELDS),
+        "fields": [f for _, f in _FIELDS],
+    }
 
 
 def _encode(trace: SyntheticTrace) -> bytes:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
-__all__ = ["harmonic_mean", "geometric_mean", "safe_div", "pct_improvement"]
+__all__ = ["harmonic_mean", "geometric_mean", "percentile", "safe_div", "pct_improvement"]
 
 
 def safe_div(num: float, den: float, default: float = 0.0) -> float:
@@ -35,6 +35,26 @@ def geometric_mean(values: Iterable[float]) -> float:
     if any(v <= 0.0 for v in vals):
         return 0.0
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    The service's ``/metrics`` latency summaries (p50/p95) use this; linear
+    interpolation matches ``numpy.percentile``'s default so the two report
+    the same number on the same sample.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in 0..100")
+    vals = sorted(values)
+    if not vals:
+        return 0.0
+    pos = (len(vals) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return vals[lo]
+    return vals[lo] + (vals[hi] - vals[lo]) * (pos - lo)
 
 
 def pct_improvement(ours: float, theirs: float) -> float:

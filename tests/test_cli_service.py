@@ -1,0 +1,68 @@
+"""CLI surface of the service subsystem: ``dwarn-sim version`` and the
+``serve`` argument wiring (the daemon itself is exercised end-to-end by
+tests/test_service_e2e.py and the CI smoke job)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import CACHE_VERSION
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.store import STORE_VERSION
+from repro.trace.artifact import ARTIFACT_VERSION
+
+
+class TestVersionCommand:
+    def test_prints_every_schema_version(self, capsys):
+        import repro
+
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+        assert f"trace-artifact schema: v{ARTIFACT_VERSION}" in out
+        assert f"result-cache schema:   v{CACHE_VERSION}" in out
+        assert f"service protocol:      v{PROTOCOL_VERSION}" in out
+        assert f"result-store schema:   v{STORE_VERSION}" in out
+
+    def test_artifact_details_shown(self, capsys):
+        main(["version"])
+        out = capsys.readouterr().out
+        assert "DWTR" in out          # artifact magic
+        assert "bytes/record" in out  # record size
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8177
+        assert args.queue_capacity == 64
+        assert args.batch_max == 8
+        assert args.processes == 1
+        assert args.store.endswith("results.jsonl")
+        assert args.ttl is None
+        assert args.port_file is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--port-file", "/tmp/p",
+                "--queue-capacity", "3", "--batch-max", "2",
+                "--processes", "4", "--ttl", "60.5", "--store", "",
+                "--dispatch-delay", "0.25",
+            ]
+        )
+        assert args.port == 0
+        assert args.port_file == "/tmp/p"
+        assert args.queue_capacity == 3
+        assert args.batch_max == 2
+        assert args.processes == 4
+        assert args.ttl == pytest.approx(60.5)
+        assert args.store == ""  # '' disables persistence
+        assert args.dispatch_delay == pytest.approx(0.25)
+
+    def test_bad_subcommand_still_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])

@@ -43,7 +43,7 @@ class TestRunManifestUnit:
         m.pool_restarts = 2
         s = m.summary()
         assert s["pairs"] == 3
-        assert s["by_source"] == {"memory": 1, "disk": 1, "simulated": 1}
+        assert s["by_source"] == {"memory": 1, "disk": 1, "simulated": 1, "store": 0}
         assert s["total_secs"] == pytest.approx(2.5)
         assert s["retries"] == 1
         assert s["pool_restarts"] == 2
@@ -54,6 +54,39 @@ class TestRunManifestUnit:
         assert s["pairs"] == 0
         assert s["slowest"] is None
         assert set(s["by_source"]) == set(PAIR_SOURCES)
+
+    def test_latency_percentiles(self):
+        m = RunManifest()
+        for i, secs in enumerate([0.1, 0.2, 0.3, 0.4, 1.0]):
+            m.record_pair("s", "2-MIX", f"p{i}", "simulated", secs)
+        lat = m.latency_percentiles()
+        assert lat["p50"] == pytest.approx(0.3)
+        assert lat["p95"] == pytest.approx(0.88)  # interpolated toward the tail
+        assert lat["p95"] >= lat["p50"]
+
+    def test_latency_percentiles_empty(self):
+        assert RunManifest().latency_percentiles() == {"p50": 0.0, "p95": 0.0}
+
+    def test_latency_percentiles_custom_qs(self):
+        m = RunManifest()
+        m.record_pair("s", "2-MIX", "dwarn", "memory", 2.0)
+        assert m.latency_percentiles(qs=(0.0, 100.0)) == {"p0": 2.0, "p100": 2.0}
+
+    def test_merge_folds_pairs_and_restarts(self):
+        a = RunManifest(label="service")
+        a.record_pair("a", "2-MIX", "dwarn", "simulated", 1.0)
+        a.pool_restarts = 1
+        b = RunManifest(label="batch")
+        b.record_pair("b", "2-MEM", "flush", "disk", 0.5, retries=1)
+        b.pool_restarts = 2
+        a.merge(b)
+        s = a.summary()
+        assert s["pairs"] == 2
+        assert s["pool_restarts"] == 3
+        assert s["retries"] == 1
+        assert s["by_source"]["simulated"] == 1 and s["by_source"]["disk"] == 1
+        # The source manifest is untouched.
+        assert b.summary()["pairs"] == 1 and b.pool_restarts == 2
 
     def test_render_mentions_counts(self):
         m = RunManifest(label="sweepy")
@@ -81,20 +114,20 @@ class TestSweepIntegration:
         runner = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
         m_cold = RunManifest()
         prefetch(runner, pairs, processes=1, manifest=m_cold, sweep="cold")
-        assert m_cold.summary()["by_source"] == {"memory": 0, "disk": 0, "simulated": 2}
+        assert m_cold.summary()["by_source"] == {"memory": 0, "disk": 0, "simulated": 2, "store": 0}
         assert all(p.sweep == "cold" and p.seed == TINY.seed for p in m_cold.pairs)
         assert all(p.secs > 0 for p in m_cold.pairs if p.source == "simulated")
 
         # Same runner again: memory hits.
         m_mem = RunManifest()
         prefetch(runner, pairs, processes=1, manifest=m_mem)
-        assert m_mem.summary()["by_source"] == {"memory": 2, "disk": 0, "simulated": 0}
+        assert m_mem.summary()["by_source"] == {"memory": 2, "disk": 0, "simulated": 0, "store": 0}
 
         # Fresh runner, same cache dir: disk hits.
         fresh = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
         m_disk = RunManifest()
         prefetch(fresh, pairs, processes=1, manifest=m_disk)
-        assert m_disk.summary()["by_source"] == {"memory": 0, "disk": 2, "simulated": 0}
+        assert m_disk.summary()["by_source"] == {"memory": 0, "disk": 2, "simulated": 0, "store": 0}
 
     def test_run_pairs_records_retries(self, tmp_path, monkeypatch):
         flag = tmp_path / "flaky"

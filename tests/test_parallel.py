@@ -227,6 +227,31 @@ class TestFaultTolerance:
             )
         assert exc_info.value.workload == "2-MIX"
 
+    def test_failing_pair_names_seed(self):
+        """Regression: the error must name the seed, not just the pair —
+        a multi-seed sweep can fail under one seed and pass under others."""
+        runner = ExperimentRunner("baseline", TINY)
+        for processes in (1, 2):
+            with pytest.raises(SweepError) as exc_info:
+                run_pairs(
+                    runner.machine, TINY, [("2-MIX", "dwarn")],
+                    processes=processes, worker=_failing_worker,
+                )
+            err = exc_info.value
+            assert err.seed == TINY.seed  # simcfg seed when no label given
+            assert f"seed={TINY.seed}" in str(err)
+
+    def test_failing_pair_seed_label_overrides(self):
+        """An explicit seed label (prefetch_seed_sweep's case) wins."""
+        runner = ExperimentRunner("baseline", TINY)
+        with pytest.raises(SweepError) as exc_info:
+            run_pairs(
+                runner.machine, TINY, [("2-MIX", "dwarn")], processes=1,
+                worker=_failing_worker, seed=909,
+            )
+        assert exc_info.value.seed == 909
+        assert "seed=909" in str(exc_info.value)
+
     def test_transient_exception_is_retried(self, tmp_path, monkeypatch):
         # The worker raises exactly once: with the default retries=1 the
         # re-queued attempt succeeds and the sweep completes.

@@ -1,0 +1,159 @@
+"""Job-spec canonicalization, validation, and lifecycle records.
+
+The dedup/coalescing satellite lives here: identical specs spelled with
+differently-ordered keys (or with defaults made explicit) must produce the
+same canonical JSON and the same cache key — that identity is what the
+queue coalesces on and what the result store is keyed by.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.service.protocol import Job, JobSpec, JobState, SpecError
+
+
+class TestCanonicalization:
+    def test_key_order_irrelevant(self):
+        """The satellite's core claim: reordered JSON keys, same cache key."""
+        a = JobSpec.from_dict(
+            {"workload": "2-MIX", "policy": "dwarn", "seed": 99, "machine": "small"}
+        )
+        b = JobSpec.from_dict(
+            {"machine": "small", "seed": 99, "policy": "dwarn", "workload": "2-MIX"}
+        )
+        assert a == b
+        assert a.canonical_json() == b.canonical_json()
+        assert a.cache_key() == b.cache_key()
+
+    def test_defaults_explicit_vs_omitted(self):
+        """Spelling out a default field changes nothing."""
+        a = JobSpec.from_dict({"workload": "4-ILP", "policy": "icount"})
+        b = JobSpec.from_dict(
+            {
+                "workload": "4-ILP",
+                "policy": "icount",
+                "machine": "baseline",
+                "seed": 12345,
+                "warmup_cycles": 5_000,
+                "measure_cycles": 40_000,
+                "trace_length": 60_000,
+            }
+        )
+        assert a.cache_key() == b.cache_key()
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        spec = JobSpec.from_dict({"workload": "2-MEM", "policy": "flush"})
+        text = spec.canonical_json()
+        assert " " not in text
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
+    def test_different_specs_different_keys(self):
+        base = {"workload": "2-MIX", "policy": "dwarn"}
+        k0 = JobSpec.from_dict(base).cache_key()
+        for delta in (
+            {"policy": "icount"},
+            {"workload": "2-MEM"},
+            {"seed": 1},
+            {"machine": "deep"},
+            {"measure_cycles": 10_000},
+            {"trace_length": 30_000},
+            {"warmup_cycles": 1},
+        ):
+            other = JobSpec.from_dict({**base, **delta})
+            assert other.cache_key() != k0, delta
+
+    def test_cache_key_stable_across_processes(self):
+        """Keys must be reproducible (stable_hash64, not PYTHONHASHSEED)."""
+        spec = JobSpec.from_dict({"workload": "2-MIX", "policy": "dwarn"})
+        assert spec.cache_key() == "1ae3020cf63f3c19"
+
+    def test_group_key_batches_config_not_pair(self):
+        a = JobSpec.from_dict({"workload": "2-MIX", "policy": "dwarn"})
+        b = JobSpec.from_dict({"workload": "8-MEM", "policy": "flush"})
+        c = JobSpec.from_dict({"workload": "2-MIX", "policy": "dwarn", "seed": 1})
+        assert a.group_key() == b.group_key()
+        assert a.group_key() != c.group_key()
+
+
+class TestValidation:
+    def test_required_fields(self):
+        with pytest.raises(SpecError, match="workload"):
+            JobSpec.from_dict({"policy": "dwarn"})
+        with pytest.raises(SpecError, match="policy"):
+            JobSpec.from_dict({"workload": "2-MIX"})
+
+    def test_unknown_field_rejected(self):
+        """A typo must fail loudly, not silently run the default config."""
+        with pytest.raises(SpecError, match="polcy"):
+            JobSpec.from_dict({"workload": "2-MIX", "polcy": "dwarn", "policy": "dwarn"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SpecError, match="object"):
+            JobSpec.from_dict(["workload", "policy"])  # type: ignore[arg-type]
+
+    def test_type_checks(self):
+        with pytest.raises(SpecError, match="seed"):
+            JobSpec.from_dict({"workload": "2-MIX", "policy": "dwarn", "seed": "7"})
+        with pytest.raises(SpecError, match="seed"):
+            JobSpec.from_dict({"workload": "2-MIX", "policy": "dwarn", "seed": True})
+
+    def test_bounds(self):
+        with pytest.raises(SpecError, match="measure_cycles"):
+            JobSpec.from_dict(
+                {"workload": "2-MIX", "policy": "dwarn", "measure_cycles": 0}
+            )
+        with pytest.raises(SpecError, match="measure_cycles"):
+            JobSpec.from_dict(
+                {"workload": "2-MIX", "policy": "dwarn", "measure_cycles": 10**9}
+            )
+        with pytest.raises(SpecError, match="machine"):
+            JobSpec.from_dict(
+                {"workload": "2-MIX", "policy": "dwarn", "machine": "mega"}
+            )
+        with pytest.raises(SpecError, match="warmup"):
+            JobSpec.from_dict(
+                {"workload": "2-MIX", "policy": "dwarn", "warmup_cycles": -1}
+            )
+
+
+class TestConfigMaterialization:
+    def test_sim_config_round_trip(self):
+        spec = JobSpec.from_dict(
+            {
+                "workload": "2-MIX",
+                "policy": "dwarn",
+                "seed": 42,
+                "warmup_cycles": 100,
+                "measure_cycles": 700,
+                "trace_length": 4_000,
+            }
+        )
+        cfg = spec.sim_config()
+        assert cfg == SimulationConfig(
+            warmup_cycles=100, measure_cycles=700, trace_length=4_000, seed=42
+        )
+        assert spec.machine_config().name == "baseline"
+
+
+class TestJob:
+    def test_status_dict_shape(self):
+        spec = JobSpec.from_dict({"workload": "2-MIX", "policy": "dwarn"})
+        job = Job(id="abc123", spec=spec, priority=2)
+        st = job.status_dict()
+        assert st["id"] == "abc123"
+        assert st["state"] == JobState.QUEUED
+        assert st["key"] == spec.cache_key()
+        assert st["spec"]["workload"] == "2-MIX"
+        assert st["priority"] == 2
+        assert job.latency is None
+
+    def test_latency_once_terminal(self):
+        spec = JobSpec.from_dict({"workload": "2-MIX", "policy": "dwarn"})
+        job = Job(id="x", spec=spec, submitted_at=10.0)
+        job.finished_at = 12.5
+        assert job.latency == pytest.approx(2.5)

@@ -1,0 +1,133 @@
+"""Queue semantics: priority order, capacity/backpressure, coalescing,
+config-group batching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.protocol import Job, JobSpec, JobState
+from repro.service.queue import JobQueue, QueueFull
+
+
+def _job(jid: str, workload="2-MIX", policy="dwarn", priority=0, **spec):
+    return Job(
+        id=jid,
+        spec=JobSpec.from_dict({"workload": workload, "policy": policy, **spec}),
+        priority=priority,
+    )
+
+
+class TestAdmission:
+    def test_fifo_within_priority(self):
+        q = JobQueue(8)
+        for i in range(3):
+            q.submit(_job(f"j{i}", seed=i + 1))
+        batch = [q.next_batch(1)[0] for _ in range(3)]
+        assert [j.id for j in batch] == ["j0", "j1", "j2"]
+
+    def test_priority_order(self):
+        q = JobQueue(8)
+        q.submit(_job("low", seed=1, priority=5))
+        q.submit(_job("high", seed=2, priority=-1))
+        q.submit(_job("mid", seed=3, priority=0))
+        order = [q.next_batch(1)[0].id for _ in range(3)]
+        assert order == ["high", "mid", "low"]
+
+    def test_capacity_raises_queue_full(self):
+        q = JobQueue(2)
+        q.submit(_job("a", seed=1))
+        q.submit(_job("b", seed=2))
+        with pytest.raises(QueueFull) as exc:
+            q.submit(_job("c", seed=3), retry_after=2.5)
+        assert exc.value.retry_after == 2.5
+        assert exc.value.capacity == 2
+
+    def test_len_counts_only_queued(self):
+        q = JobQueue(4)
+        q.submit(_job("a", seed=1))
+        q.submit(_job("b", seed=2))
+        assert len(q) == 2 and q.running == 0
+        q.next_batch(1)
+        assert len(q) == 1 and q.running == 1
+
+
+class TestCoalescing:
+    def test_identical_spec_coalesces(self):
+        q = JobQueue(8)
+        first, was = q.submit(_job("a"))
+        assert not was
+        second, was = q.submit(_job("b"))
+        assert was
+        assert second is first
+        assert first.coalesced == 1
+        assert len(q) == 1  # one queued execution, two submissions
+
+    def test_coalesces_onto_running_job(self):
+        q = JobQueue(8)
+        q.submit(_job("a"))
+        (running,) = q.next_batch(1)
+        dup, was = q.submit(_job("b"))
+        assert was and dup is running
+
+    def test_duplicate_accepted_even_when_full(self):
+        """Coalescing costs nothing, so a full queue still takes duplicates."""
+        q = JobQueue(1)
+        q.submit(_job("a"))
+        dup, was = q.submit(_job("b"))
+        assert was and dup.id == "a"
+
+    def test_finish_releases_key(self):
+        q = JobQueue(8)
+        q.submit(_job("a"))
+        (job,) = q.next_batch(1)
+        job.state = JobState.DONE
+        q.finish(job)
+        fresh, was = q.submit(_job("b"))
+        assert not was and fresh.id == "b"
+
+
+class TestBatching:
+    def test_batch_groups_same_config(self):
+        q = JobQueue(8)
+        q.submit(_job("a", workload="2-MIX", policy="dwarn"))
+        q.submit(_job("b", workload="2-MIX", policy="icount"))
+        q.submit(_job("c", workload="8-MEM", policy="flush"))
+        batch = q.next_batch(8)
+        assert {j.id for j in batch} == {"a", "b", "c"}
+        assert len(q) == 0
+
+    def test_batch_excludes_other_config_groups(self):
+        q = JobQueue(8)
+        q.submit(_job("a", seed=1))
+        q.submit(_job("b", seed=1, policy="icount"))
+        q.submit(_job("other", seed=2))
+        batch = q.next_batch(8)
+        assert {j.id for j in batch} == {"a", "b"}
+        assert [j.id for j in q.next_batch(8)] == ["other"]
+
+    def test_batch_max_bounds_size(self):
+        q = JobQueue(16)
+        for i in range(6):
+            q.submit(_job(f"j{i}", policy=["dwarn", "icount", "flush", "stall", "dg", "pdg"][i]))
+        batch = q.next_batch(4)
+        assert len(batch) == 4
+        assert len(q) == 2
+
+    def test_empty_queue_empty_batch(self):
+        assert JobQueue(4).next_batch(4) == []
+
+
+class TestShutdown:
+    def test_cancel_queued(self):
+        q = JobQueue(8)
+        q.submit(_job("a", seed=1))
+        q.submit(_job("b", seed=2))
+        (running,) = q.next_batch(1)
+        cancelled = q.cancel_queued("shutdown")
+        ids = {j.id for j in cancelled}
+        assert running.id not in ids and len(ids) == 1
+        assert all(j.state == JobState.CANCELLED for j in cancelled)
+        assert all(j.error == "shutdown" for j in cancelled)
+        assert len(q) == 0
+        # The running job is still active (it must drain, not vanish).
+        assert q.find(running.key) is running

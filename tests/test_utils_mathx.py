@@ -7,7 +7,13 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.utils.mathx import geometric_mean, harmonic_mean, pct_improvement, safe_div
+from repro.utils.mathx import (
+    geometric_mean,
+    harmonic_mean,
+    pct_improvement,
+    percentile,
+    safe_div,
+)
 
 
 class TestHarmonicMean:
@@ -64,6 +70,47 @@ class TestSafeDiv:
     def test_zero_denominator(self):
         assert safe_div(6, 0) == 0.0
         assert safe_div(6, 0, default=math.inf) == math.inf
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        vals = [5.0, 1.0, 3.0]
+        assert percentile(vals, 0) == 1.0
+        assert percentile(vals, 100) == 5.0
+
+    def test_p95_interpolates(self):
+        vals = list(range(1, 101))  # 1..100
+        assert percentile(vals, 95) == pytest.approx(95.05)
+
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_singleton(self):
+        assert percentile([7.5], 95) == 7.5
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_bounded_by_min_max(self, vals):
+        for q in (0, 25, 50, 75, 95, 100):
+            p = percentile(vals, q)
+            assert min(vals) <= p <= max(vals)
+
+    def test_matches_numpy_default(self):
+        np = pytest.importorskip("numpy")
+        vals = [0.3, 1.7, 2.2, 9.9, 4.1, 0.05]
+        for q in (10, 50, 90, 95):
+            assert percentile(vals, q) == pytest.approx(float(np.percentile(vals, q)))
 
 
 class TestPctImprovement:
