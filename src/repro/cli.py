@@ -11,6 +11,7 @@ Subcommands::
     dwarn-sim cache stats                      # result/trace cache footprint
     dwarn-sim cache clear                      # wipe both caches
     dwarn-sim serve --port 8177                # simulation-as-a-service daemon
+    dwarn-sim worker --server URL -j 2         # distributed worker for a daemon
     dwarn-sim version                          # package + on-disk schema versions
     dwarn-sim list                             # workloads/policies/machines
 
@@ -220,6 +221,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--dispatch-delay", type=float, default=0.0, metavar="SECS",
         help="sleep before dispatching each batch (testing backpressure)",
     )
+    p_srv.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="SECS",
+        help="heartbeat deadline per worker lease (default: 15)",
+    )
+    p_srv.add_argument(
+        "--max-redeliveries", type=int, default=2,
+        help="lease expiries before a job is dead-lettered (default: 2)",
+    )
+    p_srv.add_argument(
+        "--worker-grace", type=float, default=5.0, metavar="SECS",
+        help="defer local execution while a worker was seen this recently",
+    )
+
+    p_wrk = sub.add_parser(
+        "worker",
+        help="run a distributed worker against a service daemon",
+    )
+    p_wrk.add_argument(
+        "--server", default="http://127.0.0.1:8177", metavar="URL",
+        help="daemon address (default: http://127.0.0.1:8177)",
+    )
+    p_wrk.add_argument(
+        "-j", "--concurrency", type=int, default=1, metavar="N",
+        help="simulation processes per leased batch (default: 1)",
+    )
+    p_wrk.add_argument(
+        "--capacity", type=int, default=4, metavar="N",
+        help="jobs requested per lease (default: 4)",
+    )
+    p_wrk.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECS",
+        help="idle sleep between empty lease polls (default: 0.5)",
+    )
+    p_wrk.add_argument(
+        "--retries", type=int, default=1,
+        help="per-pair retries inside a leased batch (default: 1)",
+    )
+    p_wrk.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="persistent trace-artifact directory "
+        f"(default: $DWARN_SIM_TRACE_CACHE, else {DEFAULT_TRACE_CACHE})",
+    )
+    p_wrk.add_argument(
+        "--worker-id", default=None, metavar="NAME",
+        help="stable worker name (default: hostname-pid)",
+    )
+    p_wrk.add_argument(
+        "--max-leases", type=int, default=None, metavar="N",
+        help="exit after executing N leases (default: run forever)",
+    )
 
     sub.add_parser(
         "version", help="package version plus on-disk/wire schema versions"
@@ -397,8 +448,31 @@ def _serve_command(args: argparse.Namespace) -> int:
         trace_cache_dir=trace_dir,
         dispatch_delay=args.dispatch_delay,
         port_file=args.port_file,
+        lease_ttl=args.lease_ttl,
+        max_redeliveries=args.max_redeliveries,
+        worker_grace=args.worker_grace,
     )
     return run_service(cfg)
+
+
+def _worker_command(args: argparse.Namespace) -> int:
+    """``dwarn-sim worker``: lease and execute jobs for a daemon (blocking)."""
+    from repro.service.worker import WorkerConfig, parse_server, run_worker
+
+    host, port = parse_server(args.server)
+    trace_dir, _ = resolve_trace_cache_dir(args.trace_cache)
+    cfg = WorkerConfig(
+        host=host,
+        port=port,
+        worker_id=args.worker_id or "",
+        concurrency=args.concurrency,
+        capacity=args.capacity,
+        poll_interval=args.poll_interval,
+        retries=args.retries,
+        trace_cache_dir=trace_dir,
+        max_leases=args.max_leases,
+    )
+    return run_worker(cfg)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -410,6 +484,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _serve_command(args)
+
+    if args.command == "worker":
+        return _worker_command(args)
 
     simcfg = _simcfg(args)
 

@@ -25,10 +25,12 @@ from pathlib import Path
 __all__ = ["PAIR_SOURCES", "PairRecord", "RunManifest"]
 
 #: How a pair's result was obtained. ``memory``/``disk`` are the
-#: ExperimentRunner's two cache layers, ``simulated`` is an actual run, and
+#: ExperimentRunner's two cache layers, ``simulated`` is an actual run,
 #: ``store`` is the service daemon's persistent result store
-#: (``repro.service``), which fronts all three for repeat submissions.
-PAIR_SOURCES = ("memory", "disk", "simulated", "store")
+#: (``repro.service``), which fronts all three for repeat submissions, and
+#: ``worker`` is an execution leased to (and uploaded by) a distributed
+#: worker process (``repro.service.worker``).
+PAIR_SOURCES = ("memory", "disk", "simulated", "store", "worker")
 
 
 @dataclass

@@ -25,6 +25,11 @@ needs a long-lived process instead. ``dwarn-sim serve`` starts one:
 - **Client** (:mod:`repro.service.client`): a blocking stdlib-only client
   with timeouts, bounded retries and jittered backoff, used by the tests,
   the CI smoke job and the examples in docs/SERVICE.md.
+- **Workers** (:mod:`repro.service.worker`): ``dwarn-sim worker`` runs a
+  pull-based distributed worker that leases job batches over
+  ``POST /v1/leases``, executes them through the same sweep engine and
+  trace-artifact cache, and uploads results — heartbeat deadlines, bounded
+  redelivery and a dead-letter state make the fleet safe to SIGKILL.
 
 Quickstart::
 
@@ -43,21 +48,29 @@ from repro.service.client import ServiceClient, ServiceError
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Job,
+    JobResult,
     JobSpec,
     JobState,
+    Lease,
+    LeaseRequest,
     SpecError,
 )
-from repro.service.queue import JobQueue, QueueFull
+from repro.service.queue import DEFAULT_RETRY_AFTER, JobQueue, QueueFull
 from repro.service.server import ServiceConfig, SimulationService, run_service
 from repro.service.store import STORE_VERSION, ResultStore
+from repro.service.worker import Worker, WorkerConfig, parse_server, run_worker
 
 __all__ = [
+    "DEFAULT_RETRY_AFTER",
     "PROTOCOL_VERSION",
     "STORE_VERSION",
     "Job",
     "JobQueue",
+    "JobResult",
     "JobSpec",
     "JobState",
+    "Lease",
+    "LeaseRequest",
     "QueueFull",
     "ResultStore",
     "ServiceClient",
@@ -65,5 +78,9 @@ __all__ = [
     "ServiceError",
     "SimulationService",
     "SpecError",
+    "Worker",
+    "WorkerConfig",
+    "parse_server",
     "run_service",
+    "run_worker",
 ]

@@ -157,13 +157,44 @@ class ServiceClient:
             st = self.status(job_id)
             if st["state"] == "done":
                 return self.result(job_id)
-            if st["state"] in ("failed", "cancelled"):
+            if st["state"] in ("failed", "cancelled", "dead_letter"):
                 raise ServiceError(
                     f"job {job_id} {st['state']}: {st.get('error')}", body=st
                 )
             if time.monotonic() >= deadline:
                 raise ServiceError(f"timed out waiting for job {job_id} ({st['state']})")
             time.sleep(poll)
+
+    # -- lease endpoints (used by repro.service.worker) ------------------
+
+    def lease(self, worker: str, capacity: int = 1) -> dict[str, Any]:
+        """POST /v1/leases — pull up to ``capacity`` jobs under a lease."""
+        code, payload, _ = self.request(
+            "POST", "/v1/leases", {"worker": worker, "capacity": capacity}
+        )
+        if code != 200:
+            raise ServiceError(f"lease failed: HTTP {code}: {payload}", code, payload)
+        return payload
+
+    def heartbeat(self, lease_id: str) -> dict[str, Any]:
+        """POST /v1/leases/{id}/heartbeat — extend the lease deadline.
+
+        Raises with ``status=410`` once the lease has expired or been
+        consumed; callers treat that as "stop working on this batch".
+        """
+        code, payload, _ = self.request("POST", f"/v1/leases/{lease_id}/heartbeat", {})
+        if code != 200:
+            raise ServiceError(f"heartbeat failed: HTTP {code}: {payload}", code, payload)
+        return payload
+
+    def upload_results(self, lease_id: str, results: list[dict[str, Any]]) -> dict[str, Any]:
+        """POST /v1/leases/{id}/result — upload outcomes, ending the lease."""
+        code, payload, _ = self.request(
+            "POST", f"/v1/leases/{lease_id}/result", {"results": results}
+        )
+        if code != 200:
+            raise ServiceError(f"result upload failed: HTTP {code}: {payload}", code, payload)
+        return payload
 
     def healthz(self) -> dict[str, Any]:
         """GET /healthz — liveness plus every schema version."""

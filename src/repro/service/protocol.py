@@ -9,21 +9,43 @@ fields it spelled out versus defaulted. Everything the service does with a
 spec — dedup against the disk caches, coalescing onto an in-flight job,
 batching by configuration group — keys on that canonical form.
 
-This module is pure data + validation: it imports config types but nothing
-from the server, queue, or store (they all import it).
+Since the distributed-worker extension this module also owns the *lease*
+wire messages: a worker asks for work (:class:`LeaseRequest`), the server
+answers with a :class:`Lease` naming the jobs it handed out, and the worker
+uploads per-job outcomes that :func:`parse_result_upload` validates. The
+same rule applies throughout — malformed client input raises
+:class:`SpecError` (which the HTTP layer turns into a 4xx), never any other
+exception type.
+
+This module is pure data + validation: it imports config and result types
+but nothing from the server, queue, or store (they all import it).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import time
 from typing import Any, Mapping
 
 from repro.config import PRESETS, SimulationConfig, get_preset, MachineConfig
+from repro.core import SimResult
 from repro.utils.rng import stable_hash64
 
-__all__ = ["PROTOCOL_VERSION", "Job", "JobSpec", "JobState", "SpecError"]
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Job",
+    "JobResult",
+    "JobSpec",
+    "JobState",
+    "Lease",
+    "LeaseRequest",
+    "SpecError",
+    "parse_result_upload",
+    "result_from_payload",
+    "result_payload",
+]
 
 #: Wire-format version, folded into every cache key: bumping it orphans
 #: (never corrupts) records written by older servers.
@@ -33,6 +55,11 @@ PROTOCOL_VERSION = 1
 #: shared resource, so a single job cannot ask for an unbounded simulation.
 MAX_MEASURE_CYCLES = 2_000_000
 MAX_TRACE_LENGTH = 2_000_000
+
+#: Bounds on lease requests: one lease hands out at most this many jobs, and
+#: worker ids are short printable names, not payloads.
+MAX_LEASE_JOBS = 64
+MAX_WORKER_ID_LEN = 120
 
 
 class SpecError(ValueError):
@@ -47,9 +74,12 @@ class JobState:
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: Redelivered more than ``max_redeliveries`` times (every lease on it
+    #: expired); parked terminally and surfaced in ``/metrics``.
+    DEAD_LETTER = "dead_letter"
 
     #: States that will never change again.
-    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED, DEAD_LETTER})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -112,7 +142,7 @@ class JobSpec:
             raise SpecError("workload must be a non-empty string")
         if not isinstance(self.policy, str) or not self.policy:
             raise SpecError("policy must be a non-empty string")
-        if self.machine not in PRESETS:
+        if not isinstance(self.machine, str) or self.machine not in PRESETS:
             raise SpecError(
                 f"unknown machine {self.machine!r}; valid: {sorted(PRESETS)}"
             )
@@ -181,11 +211,14 @@ class Job:
     submitted_at: float = dataclasses.field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
-    source: str | None = None        # "simulated" | "disk" | "memory" | "coalesced"
+    source: str | None = None        # "simulated" | "worker" | "disk" | "memory" | ...
     error: str | None = None
     retries: int = 0
     coalesced: int = 0               # how many duplicate submissions joined
     result: dict[str, Any] | None = None
+    worker: str | None = None        # worker id currently (or last) leasing it
+    lease_id: str | None = None      # live lease holding the job, if any
+    redelivered: int = 0             # lease expiries that requeued this job
 
     @property
     def key(self) -> str:
@@ -213,4 +246,183 @@ class Job:
             "error": self.error,
             "retries": self.retries,
             "coalesced": self.coalesced,
+            "worker": self.worker,
+            "redelivered": self.redelivered,
         }
+
+
+# ----------------------------------------------------------------------
+# Lease wire messages (distributed workers)
+
+
+@dataclasses.dataclass(frozen=True)
+class LeaseRequest:
+    """A worker asking for work: ``POST /v1/leases`` body."""
+
+    worker: str
+    capacity: int = 1
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LeaseRequest":
+        """Validate a lease-request body; raises :class:`SpecError`."""
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"lease request must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"worker", "capacity"})
+        if unknown:
+            raise SpecError(f"unknown lease-request field(s): {', '.join(unknown)}")
+        worker = data.get("worker")
+        if not isinstance(worker, str) or not worker.strip():
+            raise SpecError("lease request must name a non-empty 'worker' id")
+        if len(worker) > MAX_WORKER_ID_LEN:
+            raise SpecError(f"worker id longer than {MAX_WORKER_ID_LEN} chars")
+        capacity = data.get("capacity", 1)
+        if isinstance(capacity, bool) or not isinstance(capacity, int):
+            raise SpecError("lease capacity must be an integer")
+        if not 1 <= capacity <= MAX_LEASE_JOBS:
+            raise SpecError(f"lease capacity must be in 1..{MAX_LEASE_JOBS}")
+        return cls(worker=worker, capacity=capacity)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Wire form of the request (what the worker POSTs)."""
+        return {"worker": self.worker, "capacity": self.capacity}
+
+
+@dataclasses.dataclass
+class Lease:
+    """One grant of jobs to one worker, alive until ``deadline``.
+
+    The server keeps the authoritative copy (its lease table); the dict
+    form rides in the ``POST /v1/leases`` response so the worker can name
+    the lease in heartbeats and result uploads.
+    """
+
+    id: str
+    worker: str
+    job_ids: list[str]
+    created_at: float
+    deadline: float
+    heartbeats: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Wire form of the grant (shipped to the worker, shown in tests)."""
+        return {
+            "id": self.id,
+            "worker": self.worker,
+            "job_ids": list(self.job_ids),
+            "created_at": self.created_at,
+            "deadline": self.deadline,
+            "heartbeats": self.heartbeats,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class JobResult:
+    """One job's outcome inside a lease result upload."""
+
+    job_id: str
+    ok: bool
+    result: Mapping[str, Any] | None = None
+    error: str | None = None
+    secs: float = 0.0                # in-worker wall clock for the pair
+    retries: int = 0                 # per-pair retries the worker spent
+
+
+def parse_result_upload(data: Any) -> list[JobResult]:
+    """Validate a ``POST /v1/leases/{id}/result`` body into job results.
+
+    The shape is ``{"results": [{"job_id", "ok", "result"|"error", "secs",
+    "retries"}, ...]}``. Anything malformed raises :class:`SpecError` — the
+    HTTP layer answers 400; a worker bug must never turn into a server
+    traceback or, worse, a half-recorded upload.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"result upload must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"results"})
+    if unknown:
+        raise SpecError(f"unknown result-upload field(s): {', '.join(unknown)}")
+    entries = data.get("results")
+    if not isinstance(entries, list):
+        raise SpecError("result upload must carry a 'results' list")
+    if len(entries) > MAX_LEASE_JOBS:
+        raise SpecError(f"result upload larger than {MAX_LEASE_JOBS} entries")
+    out: list[JobResult] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise SpecError(f"results[{i}] must be a JSON object")
+        unknown = sorted(set(entry) - {"job_id", "ok", "result", "error", "secs", "retries"})
+        if unknown:
+            raise SpecError(f"results[{i}]: unknown field(s): {', '.join(unknown)}")
+        job_id = entry.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            raise SpecError(f"results[{i}] must name a non-empty 'job_id'")
+        ok = entry.get("ok")
+        if not isinstance(ok, bool):
+            raise SpecError(f"results[{i}].ok must be a boolean")
+        result = entry.get("result")
+        error = entry.get("error")
+        if ok and not isinstance(result, Mapping):
+            raise SpecError(f"results[{i}]: ok=true requires a 'result' object")
+        if not ok and not isinstance(error, str):
+            raise SpecError(f"results[{i}]: ok=false requires an 'error' string")
+        secs = entry.get("secs", 0.0)
+        if isinstance(secs, bool) or not isinstance(secs, (int, float)):
+            raise SpecError(f"results[{i}].secs must be a number")
+        if not math.isfinite(secs) or secs < 0:
+            raise SpecError(f"results[{i}].secs must be finite and non-negative")
+        retries = entry.get("retries", 0)
+        if isinstance(retries, bool) or not isinstance(retries, int) or retries < 0:
+            raise SpecError(f"results[{i}].retries must be a non-negative integer")
+        out.append(
+            JobResult(
+                job_id=job_id,
+                ok=ok,
+                result=result if ok else None,
+                error=error if not ok else None,
+                secs=float(secs),
+                retries=retries,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Result payloads (the SimResult wire form)
+
+
+def result_payload(res: SimResult) -> dict[str, Any]:
+    """JSON-safe result body: the full ``SimResult`` plus derived totals."""
+    d = dataclasses.asdict(res)
+    d["benchmarks"] = list(d["benchmarks"])
+    d["throughput"] = res.throughput
+    return d
+
+
+def result_from_payload(data: Any) -> SimResult:
+    """Inverse of :func:`result_payload`; raises :class:`SpecError`.
+
+    Worker uploads cross a trust boundary, so the payload is rebuilt into a
+    real ``SimResult`` (and its derived throughput evaluated) before the
+    server stores it anywhere — a malformed upload fails the request, never
+    poisons a cache.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"result payload must be a JSON object, got {type(data).__name__}"
+        )
+    d = dict(data)
+    d.pop("throughput", None)  # derived, recomputed below
+    try:
+        d["benchmarks"] = tuple(d.get("benchmarks", ()))
+        res = SimResult(**d)
+        throughput = float(res.throughput)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"malformed result payload: {exc}") from exc
+    if not isinstance(res.ipc, list) or not res.ipc:
+        raise SpecError("result payload has no per-thread IPC")
+    if not math.isfinite(throughput):
+        raise SpecError("result payload has non-finite throughput")
+    return res

@@ -29,18 +29,34 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 
 from repro.service.protocol import Job, JobState
 
-__all__ = ["JobQueue", "QueueFull"]
+__all__ = ["DEFAULT_RETRY_AFTER", "JobQueue", "QueueFull"]
+
+#: Floor (and no-signal default) for the 429 ``Retry-After`` hint, seconds.
+#: The server derives the hint from the observed median job latency, but
+#: before any job has completed that median is 0.0 (the percentile of an
+#: empty sample), and a cache-hit-only history can make it 0.0 or even
+#: non-finite under degenerate clocks — advertising "retry in 0 seconds"
+#: turns backpressure into a busy-loop invitation.
+DEFAULT_RETRY_AFTER = 1.0
 
 
 class QueueFull(RuntimeError):
-    """Queue at capacity; ``retry_after`` is the client back-off hint (s)."""
+    """Queue at capacity; ``retry_after`` is the client back-off hint (s).
 
-    def __init__(self, capacity: int, retry_after: float) -> None:
+    The hint is normalized on construction: non-finite or sub-floor values
+    (see :data:`DEFAULT_RETRY_AFTER`) are clamped, so every ``QueueFull`` —
+    and therefore every 429 the server emits — carries a usable back-off.
+    """
+
+    def __init__(self, capacity: int, retry_after: float = DEFAULT_RETRY_AFTER) -> None:
         super().__init__(f"job queue full ({capacity} queued)")
         self.capacity = capacity
+        if not math.isfinite(retry_after) or retry_after < DEFAULT_RETRY_AFTER:
+            retry_after = DEFAULT_RETRY_AFTER
         self.retry_after = retry_after
 
 
@@ -130,6 +146,22 @@ class JobQueue:
                 heapq.heapify(keep)
                 self._heap = keep
         return batch
+
+    def requeue(self, job: Job) -> None:
+        """Return a dispatched-but-unfinished job to the queue.
+
+        The lease-expiry path: a worker leased the job and went silent, so
+        the job goes back into the heap for redelivery. Capacity is *not*
+        enforced — the job was admitted once and still owns its slot in the
+        active index; bouncing it here would silently drop accepted work.
+        Terminal jobs (completed by a late upload racing the expiry scan)
+        are left alone.
+        """
+        if job.state in JobState.TERMINAL:
+            return
+        job.state = JobState.QUEUED
+        self._active[job.key] = job
+        heapq.heappush(self._heap, (job.priority, next(self._seq), job))
 
     def finish(self, job: Job) -> None:
         """Drop a terminal job from the active index (duplicates of its

@@ -25,6 +25,24 @@ generates its traces once. Completed jobs land in both the
 ``ExperimentRunner`` result caches (the CLI sees them) and the JSONL result
 store (restarts and ``GET /v1/results`` see them).
 
+Distributed execution (``repro.service.worker``) rides on three more
+endpoints::
+
+    POST /v1/leases                    worker pulls a batch under a lease
+    POST /v1/leases/{id}/heartbeat     extends the lease deadline
+    POST /v1/leases/{id}/result        uploads per-job outcomes, ends the lease
+
+Leased jobs stay RUNNING under a heartbeat deadline; a lease whose deadline
+passes is expired by the housekeeping tick and its unfinished jobs are
+*requeued* for redelivery — at most ``max_redeliveries`` times, after which
+a job is parked in the terminal ``dead_letter`` state (surfaced in
+``/metrics``). Late or duplicate uploads against an expired/consumed lease
+answer ``410 Gone`` and change nothing, which is what makes every unique
+spec complete exactly once. While any worker has been seen within
+``worker_grace`` seconds the local dispatcher leaves the queue to the
+fleet; with no workers registered the daemon executes locally exactly as
+before, so single-machine behaviour is unchanged.
+
 Shutdown (SIGTERM/SIGINT) is a drain, not an abort: the listener closes,
 queued-but-unstarted jobs are cancelled, the in-flight batch runs to
 completion and is persisted, then the store is compacted and the process
@@ -40,7 +58,6 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-import dataclasses
 import json
 import signal
 import time
@@ -60,9 +77,14 @@ from repro.service.protocol import (
     Job,
     JobSpec,
     JobState,
+    Lease,
+    LeaseRequest,
     SpecError,
+    parse_result_upload,
+    result_from_payload,
+    result_payload,
 )
-from repro.service.queue import JobQueue, QueueFull
+from repro.service.queue import DEFAULT_RETRY_AFTER, JobQueue, QueueFull
 from repro.service.store import STORE_VERSION, ResultStore
 from repro.trace import PROFILES
 from repro.trace.artifact import schema_info
@@ -77,6 +99,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    410: "Gone",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -107,14 +130,11 @@ class ServiceConfig:
     max_jobs: int = 4096                  # terminal jobs kept addressable
     dispatch_delay: float = 0.0           # test hook: sleep before each batch
     port_file: str | None = None          # write the bound port here
-
-
-def result_payload(res: SimResult) -> dict[str, Any]:
-    """JSON-safe result body: the full ``SimResult`` plus derived totals."""
-    d = dataclasses.asdict(res)
-    d["benchmarks"] = list(d["benchmarks"])
-    d["throughput"] = res.throughput
-    return d
+    # -- distributed workers ------------------------------------------
+    lease_ttl: float = 15.0               # heartbeat deadline per lease
+    max_redeliveries: int = 2             # lease expiries before dead-letter
+    worker_grace: float = 5.0             # local fallback after worker silence
+    tick: float = 0.25                    # housekeeping interval (expiry scan)
 
 
 class SimulationService:
@@ -132,6 +152,11 @@ class SimulationService:
         self._runners: dict[tuple, ExperimentRunner] = {}
         self.job_manifest = RunManifest(label="service-jobs")
         self.exec_manifest = RunManifest(label="service-exec")
+        #: Live leases by id; expired entries are reaped by the housekeeping
+        #: tick, consumed ones by their result upload.
+        self.leases: dict[str, Lease] = {}
+        #: worker id -> wall-clock of last contact (lease/heartbeat/result).
+        self.workers: dict[str, float] = {}
         self.counters = {
             "submitted": 0,
             "queued": 0,
@@ -143,6 +168,11 @@ class SimulationService:
             "failed": 0,
             "cancelled": 0,
             "batches": 0,
+            "leased": 0,
+            "lease_expired": 0,
+            "redelivered": 0,
+            "dead_letter": 0,
+            "worker_results": 0,
         }
         self.started_at = time.time()
         self.port: int | None = None
@@ -180,6 +210,19 @@ class SimulationService:
         for job in self.queue.cancel_queued("server shutting down"):
             job.finished_at = now
             self.counters["cancelled"] += 1
+        # Leased jobs cannot be awaited (the worker may be gone, or mid-run
+        # for minutes); cancel them so the drain terminates. A worker's late
+        # upload will meet 410 and discard its results.
+        for lease in list(self.leases.values()):
+            for jid in lease.job_ids:
+                job = self.jobs.get(jid)
+                if job is not None and job.state not in JobState.TERMINAL:
+                    job.state = JobState.CANCELLED
+                    job.error = "server shutting down"
+                    job.finished_at = now
+                    self.queue.finish(job)
+                    self.counters["cancelled"] += 1
+        self.leases.clear()
         self._wake.set()  # unblock the dispatcher so it can observe the drain
         await dispatcher
         live = self.store.compact()
@@ -206,9 +249,14 @@ class SimulationService:
                 # to); anything this loop already started has finished by the
                 # time we are back here, so the drain is complete.
                 return
-            if not len(self.queue):
+            self._expire_leases()
+            if not len(self.queue) or self._workers_active():
+                # Idle, or the worker fleet owns the queue: sleep one
+                # housekeeping tick (the timeout keeps lease expiry and the
+                # local-fallback check live even with no submissions).
                 self._wake.clear()
-                await self._wake.wait()
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(self._wake.wait(), self.cfg.tick)
                 continue
             if self.cfg.dispatch_delay:
                 # Interruptible sleep: a SIGTERM mid-delay must not stall
@@ -333,11 +381,19 @@ class SimulationService:
         self.queue.finish(job)
         self.counters["failed"] += 1
 
-    def _retry_after(self) -> int:
+    def _retry_after(self) -> float:
         """Client back-off hint when the queue is full: roughly one p50 job
-        latency (what draining one slot costs), at least a second."""
+        latency (what draining one slot costs), floored at
+        :data:`~repro.service.queue.DEFAULT_RETRY_AFTER`.
+
+        With zero completed jobs the percentile of the empty sample is 0.0
+        — advertising "retry in 0s" would invite a reject/retry busy-loop
+        exactly when the service is most overloaded, so the no-signal case
+        falls back to the default rather than the median."""
+        if not self.job_manifest.pairs:
+            return DEFAULT_RETRY_AFTER
         p50 = self.job_manifest.latency_percentiles((50.0,))["p50"]
-        return max(1, round(p50))
+        return max(DEFAULT_RETRY_AFTER, p50)
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -404,11 +460,206 @@ class SimulationService:
             if method != "POST":
                 return 405, {"error": "use POST to submit a job"}, {}
             return self._submit(body)
+        if path == "/v1/leases":
+            if method != "POST":
+                return 405, {"error": "use POST to lease jobs"}, {}
+            return self._lease_create(body)
+        if path.startswith("/v1/leases/"):
+            lease_id, _, action = path.removeprefix("/v1/leases/").partition("/")
+            if method != "POST":
+                return 405, {"error": "lease endpoints are POST-only"}, {}
+            if action == "heartbeat":
+                return self._lease_heartbeat(lease_id)
+            if action == "result":
+                return self._lease_result(lease_id, body)
+            return 404, {"error": f"no such lease action {action!r}"}, {}
         if path.startswith("/v1/jobs/") and method == "GET":
             return self._job_status(path.removeprefix("/v1/jobs/"))
         if path.startswith("/v1/results/") and method == "GET":
             return self._job_result(path.removeprefix("/v1/results/"))
         return 404, {"error": f"no such endpoint: {method} {path}"}, {}
+
+    # ------------------------------------------------------------------
+    # Leases (distributed workers)
+
+    def _workers_active(self) -> bool:
+        """True while any worker has been heard from within the grace
+        window — the signal that the local dispatcher should leave the
+        queue to the fleet."""
+        now = time.time()
+        cutoff = now - self.cfg.worker_grace
+        # Bound the table: a worker silent for an hour is gone, not resting.
+        for wid, seen in list(self.workers.items()):
+            if now - seen > 3600.0:
+                del self.workers[wid]
+        return any(seen >= cutoff for seen in self.workers.values())
+
+    def _expire_leases(self) -> None:
+        """Reap leases past their heartbeat deadline, redelivering jobs."""
+        now = time.time()
+        for lid, lease in list(self.leases.items()):
+            if lease.deadline >= now:
+                continue
+            del self.leases[lid]
+            self.counters["lease_expired"] += 1
+            for jid in lease.job_ids:
+                job = self.jobs.get(jid)
+                if job is not None and job.state == JobState.RUNNING and job.lease_id == lid:
+                    self._redeliver(
+                        job, f"lease {lid} expired (worker {lease.worker})"
+                    )
+
+    def _redeliver(self, job: Job, reason: str) -> None:
+        """Requeue a job whose lease died — or dead-letter it past the cap."""
+        job.worker = None
+        job.lease_id = None
+        job.started_at = None
+        job.redelivered += 1
+        if job.redelivered > self.cfg.max_redeliveries:
+            job.state = JobState.DEAD_LETTER
+            job.finished_at = time.time()
+            job.error = (
+                f"dead-lettered after {job.redelivered} deliveries: {reason}"
+            )
+            self.queue.finish(job)
+            self.counters["dead_letter"] += 1
+            return
+        self.counters["redelivered"] += 1
+        self.queue.requeue(job)
+        self._wake.set()
+
+    def _lease_create(self, body: bytes) -> tuple[int, dict[str, Any], dict[str, str]]:
+        if self._draining:
+            return 409, {"error": "server is shutting down"}, {}
+        try:
+            data = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}, {}
+        try:
+            req = LeaseRequest.from_dict(data)
+        except SpecError as exc:
+            return 400, {"error": str(exc)}, {}
+        self.workers[req.worker] = time.time()
+        batch = self.queue.next_batch(req.capacity)
+        if not batch:
+            return 200, {"lease": None, "jobs": [], "poll_after": self.cfg.tick}, {}
+        now = time.time()
+        lease = Lease(
+            id=self._new_id(),
+            worker=req.worker,
+            job_ids=[job.id for job in batch],
+            created_at=now,
+            deadline=now + self.cfg.lease_ttl,
+        )
+        self.leases[lease.id] = lease
+        # Longest-job-first inside the lease, using the *server's* learned
+        # cost model (workers start cold); the estimates ride along so the
+        # worker can seed its own scheduler with them.
+        spec0 = batch[0].spec
+        simcfg = spec0.sim_config()
+        cost_model = SweepCostModel.for_cache_dir(self.cfg.cache_dir)
+        estimates = {
+            job.id: cost_model.estimate(
+                spec0.machine, simcfg, job.spec.workload, job.spec.policy
+            )
+            for job in batch
+        }
+        batch.sort(key=lambda job: estimates[job.id], reverse=True)
+        lease.job_ids = [job.id for job in batch]
+        for job in batch:
+            job.state = JobState.RUNNING
+            job.started_at = now
+            job.worker = req.worker
+            job.lease_id = lease.id
+        self.counters["leased"] += len(batch)
+        return 200, {
+            "lease": lease.to_dict(),
+            "lease_ttl": self.cfg.lease_ttl,
+            "retries": self.cfg.retries,
+            "jobs": [
+                {"id": job.id, "spec": job.spec.to_dict(), "estimate": estimates[job.id]}
+                for job in batch
+            ],
+        }, {}
+
+    def _lease_heartbeat(self, lease_id: str) -> tuple[int, dict[str, Any], dict[str, str]]:
+        lease = self.leases.get(lease_id)
+        if lease is None:
+            return 410, {"error": f"lease {lease_id!r} unknown, expired or consumed"}, {}
+        now = time.time()
+        lease.deadline = now + self.cfg.lease_ttl
+        lease.heartbeats += 1
+        self.workers[lease.worker] = now
+        return 200, {"deadline": lease.deadline, "lease_ttl": self.cfg.lease_ttl}, {}
+
+    def _lease_result(
+        self, lease_id: str, body: bytes
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        lease = self.leases.get(lease_id)
+        if lease is None:
+            # Expired (jobs already requeued) or already consumed (duplicate
+            # upload): refusing here is what keeps completion exactly-once.
+            return 410, {"error": f"lease {lease_id!r} unknown, expired or consumed"}, {}
+        try:
+            data = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}, {}
+        try:
+            uploads = parse_result_upload(data)
+        except SpecError as exc:
+            return 400, {"error": str(exc)}, {}
+        # Body validated: the lease is consumed from here on.
+        del self.leases[lease_id]
+        self.workers[lease.worker] = time.time()
+        by_id = {r.job_id: r for r in uploads}
+        unknown = sorted(set(by_id) - set(lease.job_ids))
+        acked: list[str] = []
+        requeued: list[str] = []
+        cost_model = SweepCostModel.for_cache_dir(self.cfg.cache_dir)
+        for jid in lease.job_ids:
+            job = self.jobs.get(jid)
+            if job is None or job.state in JobState.TERMINAL:
+                continue  # evicted or cancelled under the worker's feet
+            upload = by_id.get(jid)
+            if upload is None:
+                # Partial upload (the worker's batch aborted): the missing
+                # jobs go back for redelivery rather than silently failing.
+                self._redeliver(job, f"lease {lease_id} uploaded no result")
+                if job.state == JobState.QUEUED:
+                    requeued.append(jid)
+                continue
+            if upload.ok:
+                try:
+                    res = result_from_payload(upload.result)
+                except SpecError as exc:
+                    self._fail_job(job, f"worker returned malformed result: {exc}")
+                    acked.append(jid)
+                    continue
+                wl, pol = job.spec.workload, job.spec.policy
+                self._runner_for(job.spec).store_result(wl, pol, res)
+                pair = {
+                    "sweep": "worker",
+                    "workload": wl,
+                    "policy": pol,
+                    "source": "worker",
+                    "secs": upload.secs,
+                    "retries": upload.retries,
+                    "seed": job.spec.seed,
+                }
+                self._complete_job(job, res, "worker", pair=pair)
+                # Fleet measurements feed the same longest-job-first model
+                # local batches train, so future leases order accurately.
+                cost_model.record(job.spec.machine, job.spec.sim_config(), wl, pol, upload.secs)
+                self.exec_manifest.record_pair(
+                    "worker", wl, pol, "worker", upload.secs,
+                    retries=upload.retries, seed=job.spec.seed,
+                )
+            else:
+                self._fail_job(job, upload.error or "worker reported failure")
+            acked.append(jid)
+        cost_model.save()
+        self.counters["worker_results"] += len(acked)
+        return 200, {"acknowledged": acked, "requeued": requeued, "unknown": unknown}, {}
 
     # ------------------------------------------------------------------
     # Routes
@@ -472,7 +723,7 @@ class SimulationService:
                     "retry_after": exc.retry_after,
                     "queue_depth": len(self.queue),
                 },
-                {"Retry-After": str(int(exc.retry_after))},
+                {"Retry-After": str(max(1, round(exc.retry_after)))},
             )
         if coalesced:
             self.counters["coalesced"] += 1
@@ -558,6 +809,11 @@ class SimulationService:
             "trace_artifact": schema_info(),
             "uptime_secs": round(time.time() - self.started_at, 3),
             "stored_results": len(self.store),
+            "active_workers": sum(
+                1
+                for seen in self.workers.values()
+                if seen >= time.time() - self.cfg.worker_grace
+            ),
         }
 
     def _metrics(self) -> dict[str, Any]:
@@ -585,6 +841,20 @@ class SimulationService:
                 "pairs_executed": len(self.exec_manifest.pairs),
                 "pool_restarts": self.exec_manifest.pool_restarts,
                 "batches": c["batches"],
+            },
+            "workers": {
+                "known": len(self.workers),
+                "active": sum(
+                    1
+                    for seen in self.workers.values()
+                    if seen >= time.time() - self.cfg.worker_grace
+                ),
+                "leases_active": len(self.leases),
+                "leased": c["leased"],
+                "lease_expired": c["lease_expired"],
+                "redelivered": c["redelivered"],
+                "dead_letter": c["dead_letter"],
+                "worker_results": c["worker_results"],
             },
         }
 

@@ -1,12 +1,25 @@
-"""Service smoke check: boot a real server, run one job through it, drain.
+"""Service smoke check: boot a real server (and optionally workers), drain.
 
-``python -m repro.service.smoke`` is CI's service gate. It starts
-``dwarn-sim serve`` as a subprocess on an ephemeral port (the bound port is
-discovered through ``--port-file``), submits one small two-thread job via
-:class:`repro.service.client.ServiceClient`, asserts a completed result and
-a clean ``/healthz``, then SIGTERMs the server and requires a clean drain
-(exit status 0). Everything runs at test scale (~seconds), so the gate
-verifies wiring — daemon boot, HTTP framing, queue, executor, store,
+``python -m repro.service.smoke`` is CI's service gate, in three modes:
+
+- **Default** (no flags): start ``dwarn-sim serve`` on an ephemeral port,
+  submit one small job, assert a completed result, a cache-served
+  duplicate, a clean ``/healthz`` and a clean SIGTERM drain.
+- **Distributed** (``--workers N [--chaos]``): additionally boot N
+  ``dwarn-sim worker`` subprocesses, run a 16-job mixed sweep through the
+  lease protocol, and — with ``--chaos`` — SIGKILL one worker mid-run,
+  requiring the sweep to complete anyway (expired lease, redelivery,
+  local fallback; no dead-letters, no duplicates).
+- **Bench** (``--bench``): time a 16-job sweep against a lone daemon and
+  against 2 workers x ``--concurrency 2``, and require the distributed
+  run to be ``--min-speedup`` (default 1.7) times faster — the
+  acceptance criterion for the worker pool. The gate needs real
+  parallelism, so it skips (exit 0, with a notice) on hosts with fewer
+  than 4 CPUs; it is not run in CI for the same reason (shared 2-core
+  runners make wall-clock ratios meaningless). Use it locally.
+
+Everything runs at test scale (~seconds per job), so the gate verifies
+wiring — daemon boot, HTTP framing, queue, lease table, executor, store,
 signal drain — not simulation fidelity (tier-1 tests own that).
 
 Exit status: 0 on success, 1 with a diagnostic on any failure.
@@ -14,6 +27,8 @@ Exit status: 0 on success, 1 with a diagnostic on any failure.
 
 from __future__ import annotations
 
+import argparse
+import os
 import signal
 import subprocess
 import sys
@@ -36,6 +51,28 @@ SMOKE_SPEC = {
 }
 
 
+def _sweep_specs(measure: int = 2_500, trace: int = 10_000) -> list[dict]:
+    """A mixed 16-job sweep: 2 config groups x 8 (workload, policy) pairs.
+
+    Chaos mode keeps the default (tiny) scale so the smoke stays fast;
+    ``--bench`` passes heavier windows so per-job compute dwarfs the
+    lease/poll/HTTP overhead it is trying to measure against.
+    """
+    return [
+        {
+            "workload": wl,
+            "policy": pol,
+            "seed": seed,
+            "warmup_cycles": 200,
+            "measure_cycles": measure,
+            "trace_length": trace,
+        }
+        for seed in (7, 8)
+        for wl in ("2-MIX", "2-MEM")
+        for pol in ("dwarn", "icount", "flush", "stall")
+    ]
+
+
 def _wait_for_port_file(path: Path, proc: subprocess.Popen, timeout: float = 30.0) -> int:
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
@@ -48,32 +85,76 @@ def _wait_for_port_file(path: Path, proc: subprocess.Popen, timeout: float = 30.
     raise RuntimeError(f"server did not write {path} within {timeout}s")
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Run the smoke sequence; prints progress and returns an exit status."""
-    tmp = Path(tempfile.mkdtemp(prefix="dwarn-smoke-"))
+def _boot_server(tmp: Path, *extra: str) -> tuple[subprocess.Popen, int, Path]:
+    """Start ``dwarn-sim serve`` on an ephemeral port under ``tmp``."""
     port_file = tmp / "port"
+    port_file.unlink(missing_ok=True)
     store = tmp / "results.jsonl"
     cmd = [
-        sys.executable,
-        "-m",
-        "repro.cli",
-        "serve",
-        "--port",
-        "0",
-        "--port-file",
-        str(port_file),
-        "--store",
-        str(store),
-        "--cache-dir",
-        str(tmp / "cache"),
-        "--trace-cache",
-        str(tmp / "traces"),
-        "--processes",
-        "1",
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0",
+        "--port-file", str(port_file),
+        "--store", str(store),
+        "--cache-dir", str(tmp / "cache"),
+        "--trace-cache", str(tmp / "traces"),
+        "--processes", "1",
+        *extra,
     ]
     proc = subprocess.Popen(cmd)
+    port = _wait_for_port_file(port_file, proc)
+    return proc, port, store
+
+
+def _boot_worker(port: int, tmp: Path, name: str, concurrency: int = 1) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--server", f"http://127.0.0.1:{port}",
+            "--worker-id", name,
+            "--concurrency", str(concurrency),
+            "--capacity", "4",
+            "--poll-interval", "0.2",
+            "--trace-cache", str(tmp / f"traces-{name}"),
+        ]
+    )
+
+
+def _wait_metric(client: ServiceClient, section: str, key: str, minimum: float, timeout: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while True:
+        m = client.metrics()
+        if m[section][key] >= minimum:
+            return m
+        if time.monotonic() >= deadline:
+            raise RuntimeError(f"metric {section}/{key} never reached {minimum}: {m}")
+        time.sleep(0.1)
+
+
+def _kill(*procs: subprocess.Popen) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def _run_sweep(client: ServiceClient, specs: list[dict], timeout: float = 600.0) -> float:
+    """Submit a sweep, wait for every job; returns elapsed wall-clock."""
+    t0 = time.monotonic()
+    jobs = [client.submit(spec) for spec in specs]
+    for job in jobs:
+        record = client.wait(job["id"], timeout=timeout)
+        if record["state"] != "done" or record["result"]["throughput"] <= 0:
+            raise RuntimeError(f"sweep job did not complete: {record}")
+    return time.monotonic() - t0
+
+
+# ----------------------------------------------------------------------
+# Modes
+
+
+def _single_main(tmp: Path) -> int:
+    proc, port, store = _boot_server(tmp)
     try:
-        port = _wait_for_port_file(port_file, proc)
         print(f"smoke: server up on port {port}")
         client = ServiceClient("127.0.0.1", port, timeout=30.0)
 
@@ -113,13 +194,142 @@ def main(argv: list[str] | None = None) -> int:
             raise RuntimeError("result store was not persisted across the drain")
         print("smoke: clean SIGTERM drain, result store persisted — OK")
         return 0
+    finally:
+        _kill(proc)
+
+
+def _distributed_main(tmp: Path, workers_n: int, chaos: bool) -> int:
+    server, port, _ = _boot_server(
+        tmp, "--lease-ttl", "2", "--worker-grace", "1"
+    )
+    workers = []
+    try:
+        client = ServiceClient("127.0.0.1", port, timeout=30.0)
+        workers = [
+            _boot_worker(port, tmp, f"smoke-w{i}") for i in range(workers_n)
+        ]
+        _wait_metric(client, "workers", "active", workers_n, timeout=30.0)
+        print(f"smoke: server on port {port} with {workers_n} workers registered")
+
+        specs = _sweep_specs()
+        jobs = [client.submit(spec) for spec in specs]
+        print(f"smoke: submitted {len(jobs)} jobs")
+
+        if chaos:
+            # Let the fleet get going, then SIGKILL one worker mid-run.
+            _wait_metric(client, "workers", "leased", 1, timeout=60.0)
+            _wait_metric(client, "jobs", "completed", 2, timeout=120.0)
+            workers[0].send_signal(signal.SIGKILL)
+            workers[0].wait(timeout=10)
+            print("smoke: SIGKILLed worker smoke-w0 mid-run")
+
+        for job in jobs:
+            record = client.wait(job["id"], timeout=300.0)
+            if record["state"] != "done" or record["result"]["throughput"] <= 0:
+                raise RuntimeError(f"sweep job did not complete: {record}")
+
+        m = client.metrics()
+        w = m["workers"]
+        print(
+            f"smoke: sweep done — {m['jobs']['completed']} completed, "
+            f"{w['worker_results']} via workers, {w['lease_expired']} leases "
+            f"expired, {w['redelivered']} redelivered, {w['dead_letter']} dead"
+        )
+        if m["jobs"]["completed"] < len(specs):
+            raise RuntimeError(f"only {m['jobs']['completed']} completions: {m}")
+        if m["jobs"]["failed"] or w["dead_letter"]:
+            raise RuntimeError(f"sweep had failures/dead-letters: {m}")
+        if w["worker_results"] < 1:
+            raise RuntimeError(f"no job went through a worker: {m}")
+
+        server.send_signal(signal.SIGTERM)
+        status = server.wait(timeout=60)
+        if status != 0:
+            raise RuntimeError(f"server exited {status} on SIGTERM (want clean drain)")
+        print("smoke: distributed sweep OK, clean drain")
+        return 0
+    finally:
+        _kill(server, *workers)
+
+
+def _bench_main(tmp: Path, min_speedup: float) -> int:
+    specs = _sweep_specs(measure=20_000, trace=40_000)
+
+    base_tmp = tmp / "baseline"
+    base_tmp.mkdir()
+    server, port, _ = _boot_server(base_tmp)
+    try:
+        base_secs = _run_sweep(ServiceClient("127.0.0.1", port, timeout=30.0), specs)
+    finally:
+        _kill(server)
+    print(f"bench: single-daemon baseline: {base_secs:.1f}s for {len(specs)} jobs")
+
+    dist_tmp = tmp / "distributed"
+    dist_tmp.mkdir()
+    server, port, _ = _boot_server(dist_tmp, "--lease-ttl", "5")
+    workers = []
+    try:
+        client = ServiceClient("127.0.0.1", port, timeout=30.0)
+        workers = [
+            _boot_worker(port, dist_tmp, f"bench-w{i}", concurrency=2)
+            for i in range(2)
+        ]
+        _wait_metric(client, "workers", "active", 2, timeout=30.0)
+        dist_secs = _run_sweep(client, specs)
+        m = client.metrics()
+        if m["workers"]["worker_results"] < len(specs):
+            raise RuntimeError(f"not every job ran on a worker: {m['workers']}")
+    finally:
+        _kill(server, *workers)
+
+    speedup = base_secs / dist_secs if dist_secs else float("inf")
+    print(
+        f"bench: 2 workers x concurrency 2: {dist_secs:.1f}s — "
+        f"{speedup:.2f}x vs single daemon (need >= {min_speedup:.2f}x)"
+    )
+    if speedup < min_speedup:
+        print(f"bench: FAILED speedup gate ({speedup:.2f} < {min_speedup})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the smoke sequence; prints progress and returns an exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="distributed mode: boot N workers and run a 16-job sweep",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="with --workers: SIGKILL one worker mid-sweep",
+    )
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="time single-daemon vs 2 workers x concurrency 2",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.7,
+        help="speedup the --bench gate requires (default: 1.7)",
+    )
+    args = parser.parse_args(argv)
+    tmp = Path(tempfile.mkdtemp(prefix="dwarn-smoke-"))
+    try:
+        if args.bench:
+            cores = os.cpu_count() or 1
+            if cores < 4:
+                # 2 workers x concurrency 2 need 4 cores to actually run in
+                # parallel; on fewer, the ratio measures the scheduler, not
+                # the worker pool.
+                print(f"bench: SKIPPED — need >= 4 CPUs for a meaningful ratio, have {cores}")
+                return 0
+            return _bench_main(tmp, args.min_speedup)
+        if args.workers:
+            return _distributed_main(tmp, args.workers, args.chaos)
+        return _single_main(tmp)
     except Exception as exc:
         print(f"smoke: FAILED: {exc}", file=sys.stderr)
         return 1
-    finally:
-        if proc.poll() is None:
-            proc.kill()
-            proc.wait(timeout=10)
 
 
 if __name__ == "__main__":

@@ -76,6 +76,8 @@ class ResultStore:
             "latency": job.latency,
             "retries": job.retries,
             "coalesced": job.coalesced,
+            "worker": job.worker,
+            "redelivered": job.redelivered,
             "pair": pair_record,
             "result": job.result,
         }

@@ -1,0 +1,323 @@
+"""Pull-based distributed worker: lease jobs, simulate, upload results.
+
+``dwarn-sim worker --server URL`` runs this loop against a
+:mod:`repro.service` daemon::
+
+    POST /v1/leases                     ask for up to --capacity jobs
+      -> empty?  sleep poll_after (jittered), ask again
+      -> lease!  start a heartbeat thread, execute the batch locally
+    POST /v1/leases/{id}/heartbeat      every lease_ttl/3 while executing
+    POST /v1/leases/{id}/result         upload per-job outcomes, end lease
+
+Execution reuses the whole sweep engine: one lease batch becomes one
+``experiments.parallel.run_pairs`` call — process-pool fan-out, per-pair
+retries, pool-restart supervision, and the persistent trace-artifact cache
+(``--trace-cache``), so a workload appearing in several leased jobs
+generates its traces once per *worker machine*, ever. The server ships its
+learned longest-job-first cost estimates with the lease; the worker seeds
+an in-memory :class:`~repro.experiments.parallel.SweepCostModel` from them
+so a cold worker schedules as well as the warmed-up daemon, and the
+measured seconds flow back in the upload to train the server's model.
+
+Failure discipline (the chaos tests pin all of this):
+
+- The worker is *disposable*: it holds no durable state, so SIGKILL at any
+  point loses at most one lease, which the server expires and redelivers.
+- Heartbeat failures are logged, never fatal — a dropped heartbeat means
+  the server may expire the lease, and the eventual result upload answers
+  ``410 Gone``; the worker discards the batch and leases fresh work.
+- Upload failures (transport dead after retries) are likewise dropped on
+  the floor: the lease expires server-side and the jobs are redelivered.
+  Exactly-once completion is the *server's* invariant, enforced by the
+  lease table; the worker only has to be at-least-once.
+
+The HTTP transport is injected (anything with ``ServiceClient.request``'s
+signature), which is how the fault-injection tests interpose
+``FlakyTransport`` without touching a socket.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.experiments.parallel import SweepCostModel, run_pairs
+from repro.obs.manifest import RunManifest
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import JobSpec, SpecError, result_payload
+
+__all__ = ["Worker", "WorkerConfig", "parse_server", "run_worker"]
+
+
+def parse_server(url: str) -> tuple[str, int]:
+    """``http://host:port`` / ``host:port`` / ``host`` -> (host, port)."""
+    rest = url.strip()
+    for scheme in ("http://", "https://"):
+        if rest.startswith(scheme):
+            rest = rest[len(scheme):]
+            break
+    rest = rest.rstrip("/").split("/", 1)[0]
+    host, _, port = rest.partition(":")
+    if not host:
+        raise ValueError(f"cannot parse server address from {url!r}")
+    return host, int(port) if port else 8177
+
+
+@dataclass
+class WorkerConfig:
+    """Everything ``dwarn-sim worker`` configures."""
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    worker_id: str = ""                  # "" = derived from host+pid
+    concurrency: int = 1                 # processes per run_pairs call
+    capacity: int = 4                    # jobs requested per lease
+    poll_interval: float = 0.5           # idle sleep between empty leases
+    retries: int = 1                     # per-pair retries inside a batch
+    trace_cache_dir: str | None = None   # persistent trace artifacts
+    max_leases: int | None = None        # exit after N non-empty leases (tests)
+    quiet: bool = False
+
+    def resolved_id(self) -> str:
+        """The id sent with every lease: ``worker_id`` or host-pid."""
+        return self.worker_id or f"{socket.gethostname()}-{os.getpid()}"
+
+
+class Worker:
+    """One worker process's loop state (see module docstring)."""
+
+    def __init__(self, cfg: WorkerConfig, transport: Any | None = None) -> None:
+        self.cfg = cfg
+        self.id = cfg.resolved_id()
+        #: Anything with ``request(method, path, body) -> (status, payload,
+        #: headers)`` raising ServiceError when transport retries exhaust.
+        self.transport = transport or ServiceClient(cfg.host, cfg.port)
+        self.stats = {
+            "leases": 0,
+            "empty_polls": 0,
+            "jobs_done": 0,
+            "jobs_failed": 0,
+            "uploads_gone": 0,     # 410: lease expired/consumed before upload
+            "heartbeat_errors": 0,
+        }
+        self._stop = threading.Event()
+        self._rng = random.Random()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask the loop to exit after the current lease (thread-safe)."""
+        self._stop.set()
+
+    def run(self) -> int:
+        """Lease/execute/upload until stopped; returns an exit status."""
+        self._log(
+            f"worker {self.id} polling http://{self.cfg.host}:{self.cfg.port} "
+            f"(capacity={self.cfg.capacity}, concurrency={self.cfg.concurrency})"
+        )
+        while not self._stop.is_set():
+            if (
+                self.cfg.max_leases is not None
+                and self.stats["leases"] >= self.cfg.max_leases
+            ):
+                break
+            try:
+                granted = self._lease()
+            except ServiceError as exc:
+                self._log(f"lease request failed ({exc}); backing off")
+                self._sleep(self.cfg.poll_interval)
+                continue
+            if granted is None:
+                self.stats["empty_polls"] += 1
+                continue
+            self.stats["leases"] += 1
+            self._execute_lease(granted)
+        self._log(
+            f"worker {self.id} exiting: {self.stats['leases']} leases, "
+            f"{self.stats['jobs_done']} jobs done, "
+            f"{self.stats['jobs_failed']} failed"
+        )
+        return 0
+
+    # -- leasing ---------------------------------------------------------
+
+    def _lease(self) -> dict[str, Any] | None:
+        """One ``POST /v1/leases``; ``None`` when the queue had nothing
+        (after sleeping the server's advertised ``poll_after``)."""
+        status, payload, _ = self.transport.request(
+            "POST",
+            "/v1/leases",
+            {"worker": self.id, "capacity": self.cfg.capacity},
+        )
+        if status != 200:
+            raise ServiceError(f"lease refused: HTTP {status}: {payload}", status, payload)
+        if not payload.get("jobs"):
+            self._sleep(max(self.cfg.poll_interval, float(payload.get("poll_after", 0.0))))
+            return None
+        return payload
+
+    def _heartbeat_loop(self, lease_id: str, interval: float, stop: threading.Event) -> None:
+        while not stop.wait(interval):
+            try:
+                status, _, _ = self.transport.request(
+                    "POST", f"/v1/leases/{lease_id}/heartbeat", {}
+                )
+            except ServiceError:
+                self.stats["heartbeat_errors"] += 1
+                continue  # transient transport loss: keep trying
+            if status == 410:
+                # Lease already expired server-side: the batch in flight is
+                # doomed to a 410 upload too; no point heartbeating on.
+                self.stats["heartbeat_errors"] += 1
+                return
+
+    # -- execution -------------------------------------------------------
+
+    def _execute_lease(self, granted: dict[str, Any]) -> None:
+        lease = granted["lease"]
+        lease_id = lease["id"]
+        lease_ttl = float(granted.get("lease_ttl", 15.0))
+        entries = granted["jobs"]
+        self._log(f"lease {lease_id}: {len(entries)} job(s)")
+
+        # Heartbeat at a third of the deadline: two beats can be lost to
+        # transient failures before the server gives the lease away.
+        hb_stop = threading.Event()
+        hb = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease_id, max(0.05, lease_ttl / 3.0), hb_stop),
+            daemon=True,
+        )
+        hb.start()
+        # The heartbeat covers execution AND upload: a large upload over a
+        # slow link must not let the lease lapse mid-transfer. (The beat
+        # racing the upload's lease consumption may see 410; harmless.)
+        try:
+            results = self._run_jobs(entries)
+            self._upload(lease_id, results)
+        finally:
+            hb_stop.set()
+            hb.join(timeout=2.0)
+
+    def _run_jobs(self, entries: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Execute a lease's jobs; returns upload-ready result entries."""
+        jobs: list[tuple[str, JobSpec]] = []
+        results: list[dict[str, Any]] = []
+        for entry in entries:
+            try:
+                jobs.append((entry["id"], JobSpec.from_dict(entry["spec"])))
+            except (KeyError, TypeError, SpecError) as exc:
+                results.append(
+                    {"job_id": str(entry.get("id", "?")), "ok": False,
+                     "error": f"worker could not parse leased spec: {exc}"}
+                )
+        # Server batches are group-homogeneous, but re-group defensively:
+        # a mixed lease must not make run_pairs simulate the wrong config.
+        groups: dict[tuple, list[tuple[str, JobSpec]]] = {}
+        for jid, spec in jobs:
+            groups.setdefault(spec.group_key(), []).append((jid, spec))
+        estimates = {e["id"]: float(e.get("estimate", 0.0)) for e in entries}
+        for group in groups.values():
+            results.extend(self._run_group(group, estimates))
+        return results
+
+    def _run_group(
+        self,
+        group: list[tuple[str, JobSpec]],
+        estimates: dict[str, float],
+    ) -> list[dict[str, Any]]:
+        spec0 = group[0][1]
+        simcfg = spec0.sim_config()
+        by_pair: dict[tuple[str, str], list[str]] = {}
+        for jid, spec in group:
+            by_pair.setdefault((spec.workload, spec.policy), []).append(jid)
+        # Seed an in-memory cost model from the server's estimates so this
+        # (possibly cold) worker orders the batch longest-job-first exactly
+        # as the warmed-up daemon would.
+        cost_model = SweepCostModel(None)
+        for jid, spec in group:
+            if estimates.get(jid, 0.0) > 0.0:
+                cost_model.record(
+                    spec.machine, simcfg, spec.workload, spec.policy, estimates[jid]
+                )
+        manifest = RunManifest(label="worker-lease")
+        try:
+            pair_results = run_pairs(
+                spec0.machine_config(),
+                simcfg,
+                list(by_pair),
+                self.cfg.concurrency,
+                trace_cache_dir=self.cfg.trace_cache_dir,
+                cost_model=cost_model,
+                retries=self.cfg.retries,
+                manifest=manifest,
+                sweep="worker",
+                seed=simcfg.seed,
+            )
+        except Exception as exc:  # SweepError after retries, or anything else
+            self.stats["jobs_failed"] += len(group)
+            return [
+                {"job_id": jid, "ok": False, "error": f"worker batch failed: {exc}"}
+                for jid, _ in group
+            ]
+        timing = {(p.workload, p.policy): p for p in manifest.pairs}
+        out: list[dict[str, Any]] = []
+        for wl, pol, res in pair_results:
+            rec = timing.get((wl, pol))
+            for jid in by_pair[(wl, pol)]:
+                out.append(
+                    {
+                        "job_id": jid,
+                        "ok": True,
+                        "result": result_payload(res),
+                        "secs": round(rec.secs, 6) if rec else 0.0,
+                        "retries": rec.retries if rec else 0,
+                    }
+                )
+                self.stats["jobs_done"] += 1
+        return out
+
+    # -- upload ----------------------------------------------------------
+
+    def _upload(self, lease_id: str, results: list[dict[str, Any]]) -> None:
+        try:
+            status, payload, _ = self.transport.request(
+                "POST", f"/v1/leases/{lease_id}/result", {"results": results}
+            )
+        except ServiceError as exc:
+            # Transport dead after client retries: drop the batch — the
+            # lease expires server-side and the jobs are redelivered.
+            self._log(f"upload for lease {lease_id} failed ({exc}); discarding batch")
+            return
+        if status == 410:
+            # Expired or duplicate: the server already gave the jobs away
+            # (or took a previous copy); this batch must not count twice.
+            self.stats["uploads_gone"] += 1
+            self._log(f"lease {lease_id} gone before upload; batch discarded")
+        elif status != 200:
+            self._log(f"upload for lease {lease_id} rejected: HTTP {status}: {payload}")
+
+    # -- plumbing --------------------------------------------------------
+
+    def _sleep(self, secs: float) -> None:
+        """Jittered, stop-aware sleep (50..100% of ``secs``)."""
+        self._stop.wait(secs * (0.5 + 0.5 * self._rng.random()))
+
+    def _log(self, msg: str) -> None:
+        if not self.cfg.quiet:
+            print(f"[worker {self.id}] {msg}", flush=True)
+
+
+def run_worker(cfg: WorkerConfig) -> int:
+    """Blocking entry point (what ``dwarn-sim worker`` calls)."""
+    worker = Worker(cfg)
+    try:
+        return worker.run()
+    except KeyboardInterrupt:
+        worker.stop()
+        return 0

@@ -43,7 +43,9 @@ class TestRunManifestUnit:
         m.pool_restarts = 2
         s = m.summary()
         assert s["pairs"] == 3
-        assert s["by_source"] == {"memory": 1, "disk": 1, "simulated": 1, "store": 0}
+        assert s["by_source"] == {
+            "memory": 1, "disk": 1, "simulated": 1, "store": 0, "worker": 0,
+        }
         assert s["total_secs"] == pytest.approx(2.5)
         assert s["retries"] == 1
         assert s["pool_restarts"] == 2
@@ -114,20 +116,26 @@ class TestSweepIntegration:
         runner = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
         m_cold = RunManifest()
         prefetch(runner, pairs, processes=1, manifest=m_cold, sweep="cold")
-        assert m_cold.summary()["by_source"] == {"memory": 0, "disk": 0, "simulated": 2, "store": 0}
+        assert m_cold.summary()["by_source"] == {
+            "memory": 0, "disk": 0, "simulated": 2, "store": 0, "worker": 0,
+        }
         assert all(p.sweep == "cold" and p.seed == TINY.seed for p in m_cold.pairs)
         assert all(p.secs > 0 for p in m_cold.pairs if p.source == "simulated")
 
         # Same runner again: memory hits.
         m_mem = RunManifest()
         prefetch(runner, pairs, processes=1, manifest=m_mem)
-        assert m_mem.summary()["by_source"] == {"memory": 2, "disk": 0, "simulated": 0, "store": 0}
+        assert m_mem.summary()["by_source"] == {
+            "memory": 2, "disk": 0, "simulated": 0, "store": 0, "worker": 0,
+        }
 
         # Fresh runner, same cache dir: disk hits.
         fresh = ExperimentRunner("baseline", TINY, cache_dir=tmp_path)
         m_disk = RunManifest()
         prefetch(fresh, pairs, processes=1, manifest=m_disk)
-        assert m_disk.summary()["by_source"] == {"memory": 0, "disk": 2, "simulated": 0, "store": 0}
+        assert m_disk.summary()["by_source"] == {
+            "memory": 0, "disk": 2, "simulated": 0, "store": 0, "worker": 0,
+        }
 
     def test_run_pairs_records_retries(self, tmp_path, monkeypatch):
         flag = tmp_path / "flaky"

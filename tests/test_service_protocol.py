@@ -4,16 +4,36 @@ The dedup/coalescing satellite lives here: identical specs spelled with
 differently-ordered keys (or with defaults made explicit) must produce the
 same canonical JSON and the same cache key — that identity is what the
 queue coalesces on and what the result store is keyed by.
+
+The property-based half (hypothesis) fuzzes every parser that faces client
+or worker input — ``JobSpec.from_dict``, ``LeaseRequest.from_dict``,
+``parse_result_upload``, ``result_from_payload``, and the server's
+``_route`` dispatch itself — pinning the protocol's one security-relevant
+invariant: malformed input yields :class:`SpecError` (HTTP 4xx), never any
+other exception, never a 5xx.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.config import SimulationConfig
-from repro.service.protocol import Job, JobSpec, JobState, SpecError
+from repro.service.protocol import (
+    MAX_LEASE_JOBS,
+    Job,
+    JobResult,
+    JobSpec,
+    JobState,
+    LeaseRequest,
+    SpecError,
+    parse_result_upload,
+    result_from_payload,
+)
 
 
 class TestCanonicalization:
@@ -157,3 +177,165 @@ class TestJob:
         job = Job(id="x", spec=spec, submitted_at=10.0)
         job.finished_at = 12.5
         assert job.latency == pytest.approx(2.5)
+
+
+# ----------------------------------------------------------------------
+# Property-based fuzzing: malformed input -> SpecError/4xx, never a traceback
+
+
+def _json_values(max_leaves: int = 10):
+    """Arbitrary JSON-compatible values (what any client can actually send)."""
+    scalars = (
+        st.none()
+        | st.booleans()
+        | st.integers(-(10**9), 10**9)
+        | st.floats(allow_nan=False, allow_infinity=False)
+        | st.text(max_size=20)
+    )
+    return st.recursive(
+        scalars,
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=10), children, max_size=4),
+        max_leaves=max_leaves,
+    )
+
+
+SPEC_FIELDS = [f.name for f in dataclasses.fields(JobSpec)]
+
+
+class TestSpecFuzz:
+    @given(data=_json_values())
+    def test_arbitrary_json_never_escapes_specerror(self, data):
+        """Any JSON value either parses or raises SpecError — nothing else."""
+        try:
+            JobSpec.from_dict(data)
+        except SpecError:
+            pass
+
+    @given(
+        data=st.dictionaries(
+            st.sampled_from(SPEC_FIELDS) | st.text(max_size=12),
+            _json_values(max_leaves=4),
+            max_size=8,
+        )
+    )
+    def test_plausible_dicts_accepted_specs_round_trip(self, data):
+        """Near-miss dicts (real field names, junk values): anything that
+        *is* accepted must survive the canonical round trip key-stably."""
+        try:
+            spec = JobSpec.from_dict(data)
+        except SpecError:
+            return
+        again = JobSpec.from_dict(json.loads(spec.canonical_json()))
+        assert again == spec
+        assert again.cache_key() == spec.cache_key()
+
+
+class TestLeaseMessageFuzz:
+    @given(
+        worker=st.text(min_size=1, max_size=120).filter(lambda s: s.strip()),
+        capacity=st.integers(1, MAX_LEASE_JOBS),
+    )
+    def test_lease_request_round_trip(self, worker, capacity):
+        req = LeaseRequest.from_dict({"worker": worker, "capacity": capacity})
+        assert LeaseRequest.from_dict(req.to_dict()) == req
+
+    @given(data=_json_values())
+    def test_lease_request_fuzz(self, data):
+        try:
+            LeaseRequest.from_dict(data)
+        except SpecError:
+            pass
+
+    @given(data=_json_values())
+    def test_result_upload_fuzz(self, data):
+        try:
+            parse_result_upload(data)
+        except SpecError:
+            pass
+
+    @given(
+        entries=st.lists(
+            st.dictionaries(
+                st.sampled_from(["job_id", "ok", "result", "error", "secs", "retries"])
+                | st.text(max_size=8),
+                _json_values(max_leaves=4),
+                max_size=6,
+            ),
+            max_size=4,
+        )
+    )
+    def test_result_upload_near_miss_entries(self, entries):
+        """Entry-shaped garbage: accepted uploads must yield JobResults
+        whose invariants (ok xor error, finite secs) actually hold."""
+        try:
+            parsed = parse_result_upload({"results": entries})
+        except SpecError:
+            return
+        assert len(parsed) == len(entries)
+        for r in parsed:
+            assert isinstance(r, JobResult)
+            assert (r.result is None) or r.ok
+            assert (r.error is None) or not r.ok
+            assert r.secs >= 0.0
+
+    def test_valid_upload_parses(self):
+        parsed = parse_result_upload(
+            {
+                "results": [
+                    {"job_id": "a", "ok": False, "error": "boom"},
+                    {"job_id": "b", "ok": True, "result": {}, "secs": 1.5, "retries": 1},
+                ]
+            }
+        )
+        assert [r.job_id for r in parsed] == ["a", "b"]
+        assert parsed[0].error == "boom" and parsed[1].secs == 1.5
+
+    @given(data=_json_values())
+    def test_result_payload_fuzz(self, data):
+        """Worker uploads cross a trust boundary: junk must never build a
+        SimResult (or poison a cache) — it raises SpecError instead."""
+        try:
+            result_from_payload(data)
+        except SpecError:
+            pass
+
+
+class TestRouteFuzz:
+    """Fuzz the server's dispatch directly: whatever arrives, the answer is
+    a well-formed (status < 500, JSON-serializable) response — the contract
+    the chaos tests rely on when they fling faults at a live daemon."""
+
+    @given(
+        method=st.sampled_from(["GET", "POST", "PUT", "DELETE", "HEAD"]),
+        path=st.one_of(
+            st.sampled_from(
+                [
+                    "/",
+                    "/healthz",
+                    "/metrics",
+                    "/v1/jobs",
+                    "/v1/jobs/zzz",
+                    "/v1/results/zzz",
+                    "/v1/leases",
+                    "/v1/leases/x/heartbeat",
+                    "/v1/leases/x/result",
+                    "/v1/leases//",
+                ]
+            ),
+            st.text(max_size=30).map(lambda s: "/" + s),
+        ),
+        body=st.one_of(
+            st.binary(max_size=200),
+            _json_values(max_leaves=6).map(lambda v: json.dumps(v).encode("utf-8")),
+        ),
+    )
+    def test_route_never_5xx_never_raises(self, method, path, body):
+        from repro.service.server import ServiceConfig, SimulationService
+
+        svc = SimulationService(ServiceConfig())
+        status, payload, headers = svc._route(method, path, body)
+        assert 200 <= status < 500, (method, path, body, payload)
+        assert isinstance(payload, dict)
+        json.dumps(payload)  # must be serializable back to the client
+        assert isinstance(headers, dict)

@@ -1,12 +1,21 @@
 """Queue semantics: priority order, capacity/backpressure, coalescing,
-config-group batching."""
+config-group batching, and lease-expiry requeue.
+
+Includes the regression tests for the Retry-After bug: the 429 hint was
+computed from the median job latency even with zero completed jobs, where
+the percentile of the empty sample is 0.0 — "retry in 0 seconds" turns
+backpressure into a busy-loop invitation. Every ``QueueFull`` (and the
+server's hint derivation) must floor at ``DEFAULT_RETRY_AFTER``.
+"""
 
 from __future__ import annotations
+
+import math
 
 import pytest
 
 from repro.service.protocol import Job, JobSpec, JobState
-from repro.service.queue import JobQueue, QueueFull
+from repro.service.queue import DEFAULT_RETRY_AFTER, JobQueue, QueueFull
 
 
 def _job(jid: str, workload="2-MIX", policy="dwarn", priority=0, **spec):
@@ -115,6 +124,80 @@ class TestBatching:
 
     def test_empty_queue_empty_batch(self):
         assert JobQueue(4).next_batch(4) == []
+
+
+class TestRetryAfterFloor:
+    def test_zero_completions_floor(self):
+        """The regression: an empty latency sample gave retry_after=0.0."""
+        exc = QueueFull(4, retry_after=0.0)
+        assert exc.retry_after == DEFAULT_RETRY_AFTER
+
+    def test_degenerate_values_clamped(self):
+        for bad in (0.0, -1.0, 0.3, math.nan, math.inf, -math.inf):
+            assert QueueFull(4, retry_after=bad).retry_after == DEFAULT_RETRY_AFTER
+
+    def test_real_median_passes_through(self):
+        assert QueueFull(4, retry_after=7.25).retry_after == 7.25
+
+    def test_default_when_unspecified(self):
+        assert QueueFull(4).retry_after == DEFAULT_RETRY_AFTER
+
+    def test_server_hint_floors_without_history(self):
+        """The server side of the fix: no completed jobs -> the default,
+        a real latency history -> the (floored) p50."""
+        from repro.service.server import ServiceConfig, SimulationService
+
+        svc = SimulationService(ServiceConfig())
+        assert svc._retry_after() == DEFAULT_RETRY_AFTER
+
+        svc.job_manifest.record_pair("service", "2-MIX", "dwarn", "store", 0.0)
+        assert svc._retry_after() == DEFAULT_RETRY_AFTER  # cache-hit-only p50=0
+
+        for _ in range(10):
+            svc.job_manifest.record_pair("service", "2-MIX", "dwarn", "simulated", 30.0)
+        assert svc._retry_after() == pytest.approx(30.0)
+
+
+class TestRequeue:
+    def test_requeue_returns_job_to_heap(self):
+        q = JobQueue(8)
+        q.submit(_job("a"))
+        (job,) = q.next_batch(1)
+        assert len(q) == 0 and q.running == 1
+        q.requeue(job)
+        assert len(q) == 1 and q.running == 0
+        assert job.state == JobState.QUEUED
+        assert q.next_batch(1) == [job]
+
+    def test_requeue_ignores_terminal_jobs(self):
+        """A late upload can complete a job racing the expiry scan; the
+        scan's requeue must then be a no-op, not a resurrection."""
+        q = JobQueue(8)
+        q.submit(_job("a"))
+        (job,) = q.next_batch(1)
+        job.state = JobState.DONE
+        q.finish(job)
+        q.requeue(job)
+        assert len(q) == 0
+        assert job.state == JobState.DONE
+
+    def test_requeue_bypasses_capacity(self):
+        """An admitted job still owns its slot: requeue past a full heap
+        must not drop accepted work."""
+        q = JobQueue(1)
+        q.submit(_job("a"))
+        (job,) = q.next_batch(1)
+        q.submit(_job("b", policy="icount"))  # heap full again
+        q.requeue(job)
+        assert len(q) == 2
+
+    def test_requeued_job_coalesces_again(self):
+        q = JobQueue(8)
+        q.submit(_job("a"))
+        (job,) = q.next_batch(1)
+        q.requeue(job)
+        dup, was = q.submit(_job("b"))
+        assert was and dup is job
 
 
 class TestShutdown:

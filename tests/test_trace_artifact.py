@@ -176,6 +176,75 @@ class TestConcurrency:
         assert cache.stats()["entries"] == 1
         assert not list(tmp_path.glob("*.tmp-*"))  # no stray temp files
 
+    @pytest.mark.parametrize("mutation", ["truncate", "flip"])
+    def test_corrupt_artifact_under_concurrent_readers(self, tmp_path, mutation):
+        """The distributed-worker scenario: several simulation processes
+        share one trace-cache directory (each worker machine's
+        ``--trace-cache``) while an artifact is corrupt on disk — a torn
+        copy, a bad block. Every reader must independently fall back to
+        regeneration and agree bit-for-bit; the corrupt file is dropped and
+        rewritten, never served."""
+        cache = TraceArtifactCache(tmp_path)
+        path = cache.store(_fresh("gzip", length=3000, base=0, seed=5, instance=0))
+        data = path.read_bytes()
+        if mutation == "truncate":
+            path.write_bytes(data[: len(data) // 2])
+        else:
+            corrupted = bytearray(data)
+            corrupted[len(corrupted) // 3] ^= 0x40
+            path.write_bytes(bytes(corrupted))
+
+        with ProcessPoolExecutor(max_workers=3) as pool:
+            futs = [
+                pool.submit(_load_or_regenerate, str(tmp_path), 3000)
+                for _ in range(3)
+            ]
+            outcomes = [f.result() for f in futs]
+
+        # At least one reader met the corrupt artifact and rejected it (a
+        # late reader may see the file already healed by an earlier one's
+        # rewrite); all of them regenerated or loaded an identical trace.
+        assert any(rejected >= 1 for rejected, _ in outcomes), outcomes
+        fingerprints = {fp for _, fp in outcomes}
+        assert len(fingerprints) == 1
+        reference = SyntheticTrace(get_profile("gzip"), 3000, 0, 5, 0)
+        assert fingerprints == {_fingerprint(reference)}
+
+        # The directory healed: the rewritten artifact is valid again.
+        healed = TraceArtifactCache(tmp_path).load(get_profile("gzip"), 3000, 0, 5, 0)
+        assert healed is not None
+        _assert_traces_equal(reference, healed)
+
+    def test_corruption_mid_sweep_on_shared_worker_cache(self, tmp_path):
+        """End-to-end on the worker's actual read path: corrupt one artifact
+        between two ``run_pairs`` sweeps over the same shared directory and
+        check the second sweep still produces identical results."""
+        from repro.experiments.parallel import run_pairs
+
+        simcfg = SimulationConfig(
+            warmup_cycles=200, measure_cycles=1200, trace_length=5000, seed=777
+        )
+        machine = ExperimentRunner("baseline", simcfg).machine
+        pairs = [("2-MEM", "dwarn"), ("2-MEM", "icount")]
+        first = run_pairs(
+            machine, simcfg, pairs, 1, trace_cache_dir=str(tmp_path)
+        )
+        artifacts = sorted(tmp_path.glob("*.dwtrace"))
+        assert artifacts, list(tmp_path.iterdir())
+        blob = bytearray(artifacts[0].read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        artifacts[0].write_bytes(bytes(blob))
+
+        clear_trace_cache()
+        second = run_pairs(
+            machine, simcfg, pairs, 1, trace_cache_dir=str(tmp_path)
+        )
+        clear_trace_cache()
+        by_pair = {(wl, pol): res for wl, pol, res in first}
+        for wl, pol, res in second:
+            ref = by_pair[(wl, pol)]
+            assert res.ipc == ref.ipc and res.cycles == ref.cycles
+
 
 class TestMaintenance:
     def test_stats_and_clear(self, tmp_path):
@@ -202,6 +271,32 @@ def _store_repeatedly(directory: str, n: int) -> bool:
     for _ in range(n):
         cache.store(trace)
     return True
+
+
+def _fingerprint(trace: SyntheticTrace) -> tuple:
+    """Cheap cross-process identity for a trace's record arrays."""
+    return (
+        len(trace),
+        sum(trace.pc),
+        sum(trace.addr),
+        sum(trace.taken),
+        trace.layout.footprint_bytes,
+    )
+
+
+def _load_or_regenerate(directory: str, length: int) -> tuple[int, tuple]:
+    """Worker for the concurrent-corruption test: the exact read path a
+    distributed worker's simulation process takes (per-process cache memo
+    over a shared directory), returning (rejected count, fingerprint)."""
+    from repro.experiments.parallel import _worker_trace_cache
+
+    cache = _worker_trace_cache(directory)
+    profile = get_profile("gzip")
+    clear_trace_cache()
+    with trace_cache_installed(cache):
+        trace = generate_trace(profile, length, 0, 5, 0)
+    clear_trace_cache()
+    return cache.rejected, _fingerprint(trace)
 
 
 class TestCLICacheCommand:

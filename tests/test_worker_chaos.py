@@ -1,0 +1,362 @@
+"""Fault-injection tests for the distributed worker pool.
+
+The lease protocol's whole job is surviving a hostile network and
+disposable workers, so these tests attack it directly:
+
+- SIGKILL a worker subprocess mid-lease: the lease expires, the jobs are
+  requeued, and the sweep still completes — every unique spec exactly once.
+- Drop every heartbeat and delay the upload past the deadline
+  (``FlakyTransport``): the server expires the lease, redelivers, and the
+  worker's late upload meets ``410 Gone`` and is discarded.
+- Duplicate the result upload: the second copy answers 410 and the
+  completion counters move exactly once.
+- A worker that leases but never uploads: after ``max_redeliveries``
+  expiries the job is parked in the terminal ``dead_letter`` state.
+- Two workers draining one mixed sweep: all jobs complete via workers,
+  none twice.
+
+``FlakyTransport`` wraps the real ``ServiceClient`` and injects faults by
+URL substring — dropped requests raise :class:`ServiceError` exactly as an
+exhausted-retries transport does, duplicated requests are sent twice with
+the *second* response returned, and delays hold a request back past a lease
+deadline. The ``Worker`` takes any transport with ``ServiceClient.request``'s
+signature, so no sockets are harmed in the injection.
+
+The server is always a real ``dwarn-sim serve`` subprocess (reusing the
+e2e harness), because lease expiry rides on the daemon's housekeeping tick
+and local-fallback logic — the things worth testing live.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.worker import Worker, WorkerConfig
+
+from test_service_e2e import TINY, LiveServer
+
+def _specs(n: int) -> list[dict]:
+    """``n`` unique specs sharing one config group (same machine/seed/
+    windows), so a single lease can batch them all — what makes "kill the
+    worker mid-lease" deterministic instead of racing lease granularity."""
+    combos = [
+        (wl, pol)
+        for wl in ("2-MIX", "2-MEM")
+        for pol in ("dwarn", "icount", "flush", "stall")
+    ]
+    assert n <= len(combos)
+    return [
+        {"workload": wl, "policy": pol, "seed": 4242, **TINY}
+        for wl, pol in combos[:n]
+    ]
+
+
+class FlakyTransport:
+    """A ``ServiceClient.request`` wrapper that injects faults by path.
+
+    ``drop``: any request whose path contains one of these substrings
+    raises :class:`ServiceError` (what the client raises once its own
+    transport retries are exhausted) — the request never reaches the wire.
+
+    ``duplicate``: matching requests are sent *twice*; the second response
+    is returned, so the caller observes what a retransmitted upload would.
+
+    ``delay``: maps path substrings to seconds slept before forwarding —
+    how a request is pushed past a lease deadline deterministically.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        drop: tuple[str, ...] = (),
+        duplicate: tuple[str, ...] = (),
+        delay: dict[str, float] | None = None,
+    ) -> None:
+        self.client = client
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay = delay or {}
+        self.faults: Counter[str] = Counter()
+        self.responses: list[tuple[str, int]] = []  # (path, status) log
+
+    def request(self, method: str, path: str, body=None):
+        for frag in self.drop:
+            if frag in path:
+                self.faults[f"drop:{frag}"] += 1
+                raise ServiceError(f"injected transport fault for {method} {path}")
+        for frag, secs in self.delay.items():
+            if frag in path:
+                self.faults[f"delay:{frag}"] += 1
+                time.sleep(secs)
+        for frag in self.duplicate:
+            if frag in path:
+                self.faults[f"duplicate:{frag}"] += 1
+                self.client.request(method, path, body)  # first copy
+                status, payload, headers = self.client.request(method, path, body)
+                self.responses.append((path, status))
+                return status, payload, headers
+        status, payload, headers = self.client.request(method, path, body)
+        self.responses.append((path, status))
+        return status, payload, headers
+
+
+def _run_worker_thread(cfg: WorkerConfig, transport) -> tuple[Worker, threading.Thread]:
+    worker = Worker(cfg, transport=transport)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+def _wait_metric(client: ServiceClient, path: tuple[str, ...], minimum: int, timeout: float = 30.0) -> dict:
+    """Poll /metrics until a nested counter reaches ``minimum``."""
+    deadline = time.monotonic() + timeout
+    while True:
+        m = client.metrics()
+        value = m
+        for key in path:
+            value = value[key]
+        if value >= minimum:
+            return m
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"metric {'/'.join(path)} never reached {minimum}: {m}")
+        time.sleep(0.05)
+
+
+def _assert_exactly_once(server: LiveServer, specs: list[dict]) -> None:
+    """Every unique spec is done with one consistent result, none failed."""
+    m = server.client.metrics()
+    assert m["jobs"]["failed"] == 0, m
+    assert m["workers"]["dead_letter"] == 0, m
+    throughputs: dict[str, set[float]] = {}
+    for spec in specs:
+        job = server.client.submit(spec)  # terminal now: served from cache/store
+        assert job["state"] == "done", job
+        res = server.client.result(job["id"])["result"]
+        throughputs.setdefault(job["key"], set()).add(res["throughput"])
+    assert len(throughputs) == len(specs)
+    for values in throughputs.values():
+        assert len(values) == 1
+
+
+class TestWorkerSigkill:
+    def test_sigkill_mid_lease_requeues_and_completes(self, tmp_path):
+        """Kill -9 a worker subprocess holding a lease: the lease expires,
+        its jobs are redelivered, and the sweep completes exactly once."""
+        srv = LiveServer(tmp_path, lease_ttl=1, worker_grace=2)
+        worker_proc = None
+        try:
+            worker_proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "worker",
+                    "--server", f"http://127.0.0.1:{srv.port}",
+                    "--capacity", "4",
+                    "--trace-cache", str(tmp_path / "worker-traces"),
+                ],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            )
+            # Register the worker *before* submitting, so the daemon defers
+            # to the fleet instead of racing it for the first batch.
+            _wait_metric(srv.client, ("workers", "active"), 1)
+            specs = _specs(4)
+            jobs = [srv.client.submit(sp) for sp in specs]
+            # Wait until the worker holds a lease, then kill it mid-batch.
+            _wait_metric(srv.client, ("workers", "leased"), 1)
+            worker_proc.send_signal(signal.SIGKILL)
+            worker_proc.wait(timeout=10)
+
+            # The dead worker's lease expires (ttl=1s); after worker_grace
+            # the daemon falls back to local execution and finishes the job.
+            for job in jobs:
+                record = srv.client.wait(job["id"], timeout=120.0)
+                assert record["state"] == "done"
+                assert record["result"]["throughput"] > 0
+
+            m = srv.client.metrics()
+            assert m["workers"]["lease_expired"] >= 1, m
+            assert m["workers"]["redelivered"] >= 1, m
+            assert m["jobs"]["completed"] == len(specs), m
+            _assert_exactly_once(srv, specs)
+        finally:
+            if worker_proc is not None and worker_proc.poll() is None:
+                worker_proc.kill()
+                worker_proc.communicate(timeout=10)
+            srv.kill()
+
+
+class TestHeartbeatLoss:
+    def test_dropped_heartbeats_expire_lease_and_requeue(self, tmp_path):
+        """Heartbeats all dropped + upload delayed past the deadline: the
+        server expires the lease and redelivers; the late upload meets 410
+        and its batch is discarded, so nothing completes twice."""
+        srv = LiveServer(tmp_path, lease_ttl=1, worker_grace=2)
+        try:
+            transport = FlakyTransport(
+                ServiceClient("127.0.0.1", srv.port, timeout=30.0),
+                drop=("/heartbeat",),
+                delay={"/result": 2.5},  # > lease_ttl: expiry wins the race
+            )
+            cfg = WorkerConfig(
+                host="127.0.0.1", port=srv.port, worker_id="flaky",
+                capacity=4, max_leases=1, poll_interval=0.1, quiet=True,
+                trace_cache_dir=str(tmp_path / "worker-traces"),
+            )
+            worker, thread = _run_worker_thread(cfg, transport)
+            _wait_metric(srv.client, ("workers", "active"), 1)
+            specs = _specs(2)
+            jobs = [srv.client.submit(sp) for sp in specs]
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+
+            # The worker saw its heartbeats fail and its upload refused.
+            assert transport.faults["drop:/heartbeat"] >= 1
+            assert worker.stats["uploads_gone"] == 1, worker.stats
+
+            # Server side: lease expired, jobs redelivered, then completed
+            # locally (the worker exited, so the grace window lapses).
+            for job in jobs:
+                record = srv.client.wait(job["id"], timeout=120.0)
+                assert record["state"] == "done"
+            m = srv.client.metrics()
+            assert m["workers"]["lease_expired"] >= 1, m
+            assert m["workers"]["redelivered"] >= len(specs), m
+            assert m["workers"]["worker_results"] == 0, m  # 410 never recorded
+            assert m["jobs"]["completed"] == len(specs), m
+            _assert_exactly_once(srv, specs)
+        finally:
+            srv.kill()
+
+
+class TestDuplicateUpload:
+    def test_duplicate_result_upload_counts_once(self, tmp_path):
+        """The upload is transmitted twice: the first copy consumes the
+        lease, the retransmission answers 410, and every completion
+        counter moves exactly once."""
+        srv = LiveServer(tmp_path, lease_ttl=10, dispatch_delay=30)
+        try:
+            specs = _specs(3)
+            jobs = [srv.client.submit(sp) for sp in specs]  # dispatcher stalled
+            transport = FlakyTransport(
+                ServiceClient("127.0.0.1", srv.port, timeout=30.0),
+                duplicate=("/result",),
+            )
+            cfg = WorkerConfig(
+                host="127.0.0.1", port=srv.port, worker_id="dup",
+                capacity=4, max_leases=1, quiet=True,
+                trace_cache_dir=str(tmp_path / "worker-traces"),
+            )
+            worker, thread = _run_worker_thread(cfg, transport)
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+
+            assert transport.faults["duplicate:/result"] == 1
+            # The worker observed the duplicate's 410 (second response wins).
+            assert worker.stats["uploads_gone"] == 1, worker.stats
+
+            for job in jobs:
+                record = srv.client.wait(job["id"], timeout=60.0)
+                assert record["state"] == "done"
+                assert record["source"] == "worker"
+            m = srv.client.metrics()
+            assert m["jobs"]["completed"] == len(specs), m
+            assert m["workers"]["worker_results"] == len(specs), m
+            assert m["workers"]["redelivered"] == 0, m
+            assert m["by_source"]["worker"] == len(specs), m
+            _assert_exactly_once(srv, specs)
+        finally:
+            srv.kill()
+
+
+class TestDeadLetter:
+    def test_silent_worker_dead_letters_after_redelivery_cap(self, tmp_path):
+        """A worker that leases and vanishes, twice: with max_redeliveries=1
+        the second expiry parks the job terminally in dead_letter."""
+        srv = LiveServer(tmp_path, lease_ttl=0.4, max_redeliveries=1)
+        stop = threading.Event()
+
+        def silent_worker():
+            # Lease everything offered, never heartbeat, never upload — and
+            # keep polling so the daemon sees an "active" fleet and leaves
+            # the queue alone (no local-fallback rescue).
+            client = ServiceClient("127.0.0.1", srv.port, timeout=10.0)
+            while not stop.is_set():
+                try:
+                    client.request(
+                        "POST", "/v1/leases", {"worker": "ghost", "capacity": 4}
+                    )
+                except ServiceError:
+                    pass
+                stop.wait(0.15)
+
+        thread = threading.Thread(target=silent_worker, daemon=True)
+        try:
+            thread.start()
+            _wait_metric(srv.client, ("workers", "active"), 1)
+            spec = _specs(1)[0]
+            job = srv.client.submit(spec)
+
+            m = _wait_metric(srv.client, ("workers", "dead_letter"), 1, timeout=30.0)
+            assert m["workers"]["lease_expired"] >= 2, m
+            assert m["jobs"]["completed"] == 0, m
+
+            st = srv.client.status(job["id"])
+            assert st["state"] == "dead_letter"
+            assert st["redelivered"] == 2
+            assert "dead-lettered" in st["error"]
+            with pytest.raises(ServiceError, match="dead_letter"):
+                srv.client.wait(job["id"], timeout=5.0)
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+            srv.kill()
+
+
+class TestTwoWorkerSweep:
+    def test_two_workers_mixed_sweep_exactly_once(self, tmp_path):
+        """Two concurrent workers drain one mixed sweep: every job is
+        completed by the fleet (not the local dispatcher), none twice."""
+        srv = LiveServer(tmp_path, lease_ttl=10)
+        workers: list[tuple[Worker, threading.Thread]] = []
+        try:
+            for name in ("w1", "w2"):
+                cfg = WorkerConfig(
+                    host="127.0.0.1", port=srv.port, worker_id=name,
+                    capacity=2, poll_interval=0.1, quiet=True,
+                    trace_cache_dir=str(tmp_path / f"traces-{name}"),
+                )
+                workers.append(
+                    _run_worker_thread(
+                        cfg, ServiceClient("127.0.0.1", srv.port, timeout=30.0)
+                    )
+                )
+            _wait_metric(srv.client, ("workers", "active"), 2)
+            specs = _specs(8)
+            jobs = [srv.client.submit(sp) for sp in specs]
+            for job in jobs:
+                record = srv.client.wait(job["id"], timeout=180.0)
+                assert record["state"] == "done"
+                assert record["source"] == "worker"
+
+            m = srv.client.metrics()
+            assert m["jobs"]["completed"] == len(specs), m
+            assert m["workers"]["worker_results"] == len(specs), m
+            assert m["by_source"]["worker"] == len(specs), m
+            assert m["workers"]["dead_letter"] == 0, m
+            # Both workers contributed (capacity 2 over 8 jobs: neither
+            # could have taken the whole sweep before the other leased).
+            done_per_worker = [w.stats["jobs_done"] for w, _ in workers]
+            assert sum(done_per_worker) == len(specs)
+            _assert_exactly_once(srv, specs)
+        finally:
+            for worker, thread in workers:
+                worker.stop()
+            for worker, thread in workers:
+                thread.join(timeout=10)
+            srv.kill()
