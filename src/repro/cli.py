@@ -156,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a sweep-observability manifest (per-pair timing/retries/"
         "cache hits) as JSON",
     )
+    p_rep.add_argument(
+        "--backend", choices=("process", "vec"), default="process",
+        help="sweep engine: process pool, or the in-process lockstep "
+        "vectorized batch backend (bit-identical results)",
+    )
 
     p_cache = sub.add_parser(
         "cache", help="inspect or wipe the result/trace caches"
@@ -199,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--retries", type=int, default=1,
         help="per-pair retries inside a batch (default: 1)",
+    )
+    p_srv.add_argument(
+        "--backend", choices=("process", "vec"), default="process",
+        help="batch engine: process pool, or the in-process lockstep "
+        "vectorized batch backend (bit-identical results)",
     )
     p_srv.add_argument(
         "--store", default=".cache/service/results.jsonl", metavar="PATH",
@@ -257,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_wrk.add_argument(
         "--retries", type=int, default=1,
         help="per-pair retries inside a leased batch (default: 1)",
+    )
+    p_wrk.add_argument(
+        "--backend", choices=("process", "vec"), default="process",
+        help="batch engine: process pool, or the in-process lockstep "
+        "vectorized batch backend (bit-identical results)",
     )
     p_wrk.add_argument(
         "--trace-cache", default=None, metavar="DIR",
@@ -442,6 +457,7 @@ def _serve_command(args: argparse.Namespace) -> int:
         batch_max=args.batch_max,
         processes=args.processes,
         retries=args.retries,
+        backend=args.backend,
         ttl=args.ttl,
         store_path=args.store or None,
         cache_dir=args.cache_dir or None,
@@ -469,6 +485,7 @@ def _worker_command(args: argparse.Namespace) -> int:
         capacity=args.capacity,
         poll_interval=args.poll_interval,
         retries=args.retries,
+        backend=args.backend,
         trace_cache_dir=trace_dir,
         max_leases=args.max_leases,
     )
@@ -535,7 +552,7 @@ def main(argv: list[str] | None = None) -> int:
             from repro.obs import RunManifest
 
             manifest = RunManifest(label="report")
-        if args.parallel > 1:
+        if args.parallel > 1 or args.backend == "vec":
             from repro.experiments import (
                 ext_seeds,
                 prefetch,
@@ -559,6 +576,7 @@ def main(argv: list[str] | None = None) -> int:
                     progress=progress,
                     manifest=manifest,
                     sweep=machine,
+                    backend=args.backend,
                 )
                 print(
                     f"[prefetch] {machine}: {n} simulations "
@@ -579,6 +597,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.parallel,
                 progress=seed_progress,
                 manifest=manifest,
+                backend=args.backend,
             )
             print(
                 f"[prefetch] seed sweep: {n} simulations "

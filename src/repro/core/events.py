@@ -6,7 +6,15 @@ allocate and dispatch on in the hot loop.
 
 from __future__ import annotations
 
-__all__ = ["EV_COMPLETE", "EV_FILL", "EV_DECLARE", "EV_CALL"]
+__all__ = [
+    "EV_COMPLETE",
+    "EV_FILL",
+    "EV_DECLARE",
+    "EV_CALL",
+    "EV_UNGATE",
+    "EV_HYBRID_GATE",
+    "EV_DETECT",
+]
 
 #: (EV_COMPLETE, instr) — execution/writeback completes; wakes dependents,
 #: resolves branches.
@@ -23,6 +31,23 @@ EV_FILL = 1
 #: detection moment. Skipped if the load completed or was squashed.
 EV_DECLARE = 2
 
-#: (EV_CALL, callable) — generic deferred action; fetch policies use it for
-#: timed un-gating (the 2-cycle-early fill advance signal).
+#: (EV_CALL, callable) — generic deferred action (external/test hooks). The
+#: simulator's own timers use the typed kinds below so every wheel payload is
+#: data, which keeps mid-run state serializable (``repro.core.columnar``).
 EV_CALL = 3
+
+#: (EV_UNGATE, tid) — a counted fetch gate expires: decrement the policy's
+#: per-thread gate counter and dirty the fetch order. Scheduled by
+#: ``GatingMixin.gate_until_fill`` at fill minus the 2-cycle advance signal.
+EV_UNGATE = 4
+
+#: (EV_HYBRID_GATE, instr) — DWarn's hybrid RA: the L2 probe outcome becomes
+#: known (one L2 access after the L1 miss) and the load really missed, so
+#: gate its thread until the fill. Skipped if the load completed or was
+#: squashed in the meantime.
+EV_HYBRID_GATE = 5
+
+#: (EV_DETECT, instr) — the delayed L1-miss indication reaches the front end
+#: (``l1_detect_extra`` cycles after the probe, §6 deeper pipelines): count
+#: the miss into the thread's dmiss counter and fire ``on_l1d_miss``.
+EV_DETECT = 6

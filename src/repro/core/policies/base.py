@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.events import EV_UNGATE
 from repro.isa.instruction import DynInstr
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -218,12 +219,8 @@ class GatingMixin:
             return False
         self._gate_count[tid] += 1
         sim.order_dirty = True  # gate transitions change the fetch order
-        gc = self._gate_count
-
-        def _ungate() -> None:
-            gc[tid] -= 1
-            sim.order_dirty = True
-
-        sim.schedule_call(ungate_at, _ungate)
+        # A typed event, not a closure: the wheel stays pure data, so a
+        # mid-run columnar snapshot can serialize pending un-gate timers.
+        sim.schedule(ungate_at, (EV_UNGATE, tid))
         sim.stats.gated_cycles[tid] += ungate_at - sim.cycle
         return True

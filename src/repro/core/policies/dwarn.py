@@ -35,6 +35,7 @@ statement (§1) is exclusively about loads.
 
 from __future__ import annotations
 
+from repro.core.events import EV_HYBRID_GATE
 from repro.core.policies.base import FetchPolicy, GatingMixin
 from repro.isa.instruction import DynInstr
 
@@ -125,9 +126,6 @@ class DWarnPolicy(GatingMixin, FetchPolicy):
             return
         sim = self.sim
         known_at = sim.cycle + sim.machine.mem.l2.latency
-
-        def _gate() -> None:
-            if not i.squashed and not i.completed:
-                self.gate_until_fill(i)
-
-        sim.schedule_call(known_at, _gate)
+        # Typed event (drain checks the load is still live, then calls
+        # gate_until_fill) so the pending gate survives columnar snapshots.
+        sim.schedule(known_at, (EV_HYBRID_GATE, i))

@@ -47,7 +47,15 @@ from typing import TYPE_CHECKING, Sequence
 from repro.branch.predictor import FrontEndPredictor
 from repro.config.machine import MachineConfig
 from repro.config.simulation import SimulationConfig
-from repro.core.events import EV_CALL, EV_COMPLETE, EV_DECLARE, EV_FILL
+from repro.core.events import (
+    EV_CALL,
+    EV_COMPLETE,
+    EV_DECLARE,
+    EV_DETECT,
+    EV_FILL,
+    EV_HYBRID_GATE,
+    EV_UNGATE,
+)
 from repro.core.result import SimResult
 from repro.core.stats import SimStats
 from repro.core.thread import ThreadContext
@@ -237,7 +245,8 @@ class Simulator:
     # ------------------------------------------------------------------ API
 
     def schedule(self, cycle: int, event: tuple) -> None:
-        """Schedule an event; policies use EV_CALL payloads for timers."""
+        """Schedule an event; policies use typed payloads (EV_UNGATE,
+        EV_HYBRID_GATE) for timers so the wheel stays serializable."""
         self.events.schedule(cycle, event)
 
     def schedule_call(self, cycle: int, fn) -> None:
@@ -349,10 +358,11 @@ class Simulator:
         bucket, which matches their old position as the newest entries of
         the bucket because everything else landing in that bucket was
         scheduled on an earlier cycle. The only exception is an
-        ``l1_detect_extra == 1`` miss-indication callback scheduled in the
+        ``l1_detect_extra == 1`` miss-indication event scheduled in the
         same issue phase; its relative order against unrelated completions
-        is observable by nothing (the callback touches only per-thread miss
-        counters, completions never read them in the same cycle).
+        is observable by nothing (the EV_DETECT handler touches only
+        per-thread miss counters, completions never read them in the same
+        cycle).
         """
         # --- loop-invariant hoists ----------------------------------------
         threads = self.threads
@@ -470,7 +480,14 @@ class Simulator:
         ev_complete = EV_COMPLETE
         ev_fill = EV_FILL
         ev_declare = EV_DECLARE
-        ev_call = EV_CALL
+        ev_ungate = EV_UNGATE
+        ev_hybrid_gate = EV_HYBRID_GATE
+        ev_detect = EV_DETECT
+        # Gating state: only GatingMixin policies schedule EV_UNGATE /
+        # EV_HYBRID_GATE, so the None defaults are never dereferenced for
+        # non-gating policies.
+        gate_count = getattr(policy, "_gate_count", None)
+        gate_until_fill = getattr(policy, "gate_until_fill", None)
         op_load = _OP_LOAD
         op_store = _OP_STORE
         op_branch = _OP_BRANCH
@@ -552,6 +569,19 @@ class Simulator:
                         if not (i.squashed or i.completed):
                             i.declared = True
                             on_l2_declared(i)
+                    elif kind == ev_ungate:
+                        gate_count[ev[1]] -= 1
+                        dirty = True
+                    elif kind == ev_hybrid_gate:
+                        i = ev[1]
+                        if not i.squashed and not i.completed:
+                            gate_until_fill(i)
+                    elif kind == ev_detect:
+                        i = ev[1]
+                        i.dmiss_counted = True
+                        threads[i.tid].dmiss += 1
+                        dirty = True
+                        on_l1d_miss(i)
                     else:  # EV_CALL
                         ev[1]()
             if nc:
@@ -786,19 +816,12 @@ class Simulator:
                                 tc.dmiss += 1
                                 on_l1d_miss(i)
                             elif fill_cycle > cycle + l1_detect_extra:
-
-                                def _detect(load=i, thread=tc):
-                                    load.dmiss_counted = True
-                                    thread.dmiss += 1
-                                    self.order_dirty = True
-                                    self.policy.on_l1d_miss(load)
-
                                 at = cycle + l1_detect_extra
                                 b = bucket_get(at)
                                 if b is None:
-                                    buckets[at] = [(ev_call, _detect)]
+                                    buckets[at] = [(ev_detect, i)]
                                 else:
-                                    b.append((ev_call, _detect))
+                                    b.append((ev_detect, i))
                                 pend += 1
                             b = bucket_get(fill_cycle)
                             if b is None:
@@ -1288,6 +1311,19 @@ class Simulator:
                     self._fill(ev[1])
                 elif kind == EV_DECLARE:
                     self._declare(ev[1])
+                elif kind == EV_UNGATE:
+                    self.policy._gate_count[ev[1]] -= 1
+                    self.order_dirty = True
+                elif kind == EV_HYBRID_GATE:
+                    i = ev[1]
+                    if not i.squashed and not i.completed:
+                        self.policy.gate_until_fill(i)
+                elif kind == EV_DETECT:
+                    i = ev[1]
+                    i.dmiss_counted = True
+                    self.threads[i.tid].dmiss += 1
+                    self.order_dirty = True
+                    self.policy.on_l1d_miss(i)
                 else:  # EV_CALL
                     ev[1]()
         if nc:
@@ -1528,13 +1564,7 @@ class Simulator:
                 # Deeper pipeline (§6): the miss indication takes extra
                 # cycles to reach the front end; misses that resolve first
                 # are never seen by the counters at all.
-                def _detect(load=i, thread=tc):
-                    load.dmiss_counted = True
-                    thread.dmiss += 1
-                    self.order_dirty = True
-                    self.policy.on_l1d_miss(load)
-
-                self.events.schedule(cycle + detect_extra, (EV_CALL, _detect))
+                self.events.schedule(cycle + detect_extra, (EV_DETECT, i))
             self.events.schedule(res.fill_cycle, (EV_FILL, i))
             if res.l2_miss:
                 i.l2_miss = True

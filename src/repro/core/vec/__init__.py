@@ -1,0 +1,20 @@
+"""Vectorized batch backend: many simulations advanced in lockstep.
+
+See :mod:`repro.core.vec.batch` for the design. Public surface:
+
+- :class:`VecBatchSimulator` — the batch engine (``run() -> list[SimResult]``)
+- :class:`Lane` — one (workload, policy, seed) run specification
+- :func:`run_batch` — one-call convenience wrapper
+- :data:`HAVE_NUMPY` — whether the numpy control plane is active (the
+  backend falls back to pure Python when numpy is absent)
+"""
+
+from repro.core.vec.batch import (
+    HAVE_NUMPY,
+    Lane,
+    VecBatchSimulator,
+    VecLaneError,
+    run_batch,
+)
+
+__all__ = ["HAVE_NUMPY", "Lane", "VecBatchSimulator", "VecLaneError", "run_batch"]

@@ -60,6 +60,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.config import MachineConfig, SimulationConfig
 from repro.core import SimResult, Simulator, make_policy
+from repro.core.vec import VecBatchSimulator, VecLaneError
 from repro.experiments.runner import ExperimentRunner
 from repro.trace.artifact import TraceArtifactCache
 from repro.workloads import build_programs, build_single, get_workload, workloads_for_machine
@@ -280,6 +281,7 @@ def run_pairs(
     manifest: "RunManifest | None" = None,
     sweep: str = "sweep",
     seed: int | None = None,
+    backend: str = "process",
 ) -> list[tuple[str, str, SimResult]]:
     """Run pairs in a process pool; returns (workload, policy, result) in
     the order the pairs were given.
@@ -290,6 +292,13 @@ def run_pairs(
     whose simulation raises is retried ``retries`` times before the sweep
     aborts with a :class:`SweepError` naming it. ``worker`` overrides the
     simulation callable (tests inject crashing workers through this).
+
+    ``backend`` selects the execution engine: ``"process"`` (default) is
+    the pool described above; ``"vec"`` runs the whole batch in-process
+    through the lockstep :class:`~repro.core.vec.VecBatchSimulator` —
+    bit-identical results (perfguard's backend-parity gate pins this),
+    much higher throughput on many-pairs/short-run screening sweeps, and
+    a serial-path fallback (honoring ``retries``) if the batch aborts.
 
     When ``manifest`` is given, every completed pair is recorded into it as
     ``source="simulated"`` (with its in-worker seconds and retry count,
@@ -326,7 +335,25 @@ def run_pairs(
         if progress is not None:
             progress(len(results), total, wl, pol, secs)
 
-    if processes is not None and processes <= 1:
+    serial = processes is not None and processes <= 1
+    if backend == "vec":
+        trace_cache = TraceArtifactCache(trace_cache_dir) if trace_cache_dir else None
+        try:
+            batch = VecBatchSimulator(machine, simcfg, pairs, trace_cache=trace_cache)
+            batch_results = batch.run()
+        except VecLaneError:
+            # The batch engine could not finish (one lane poisoned it at
+            # setup or mid-flight). Re-run on the serial path, which retries
+            # per pair and names the failing pair in its SweepError.
+            serial = True
+        else:
+            for i, res in enumerate(batch_results):
+                _finish(i, res, batch.lane_seconds[i], 0)
+            return [(pairs[i][0], pairs[i][1], results[i]) for i in range(total)]
+    elif backend != "process":
+        raise ValueError(f"unknown run_pairs backend {backend!r}")
+
+    if serial:
         for i in order:
             wl, pol = pairs[i]
             attempt = 0
@@ -415,6 +442,7 @@ def prefetch(
     progress: ProgressFn | None = None,
     manifest: "RunManifest | None" = None,
     sweep: str = "prefetch",
+    backend: str = "process",
 ) -> int:
     """Fill the runner's caches for ``pairs`` using worker processes.
 
@@ -459,6 +487,7 @@ def prefetch(
         manifest=manifest,
         sweep=sweep,
         seed=seed,
+        backend=backend,
     )
     for wl, pol, res in results:
         runner.store_result(wl, pol, res)
@@ -475,6 +504,7 @@ def prefetch_seed_sweep(
     progress: ProgressFn | None = None,
     manifest: "RunManifest | None" = None,
     sweep: str = "seeds",
+    backend: str = "process",
 ) -> int:
     """Prefetch ``pairs`` under several trace *seeds* (the ext_seeds sweep).
 
@@ -499,6 +529,8 @@ def prefetch_seed_sweep(
         sub._mem_cache = runner._mem_cache
         if runner.trace_cache is not None:
             sub.trace_cache = runner.trace_cache  # share hit/miss accounting
-        total += prefetch(sub, pairs, processes, progress, manifest=manifest, sweep=sweep)
+        total += prefetch(
+            sub, pairs, processes, progress, manifest=manifest, sweep=sweep, backend=backend
+        )
         runner.simulations_run += sub.simulations_run
     return total

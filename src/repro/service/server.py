@@ -123,6 +123,7 @@ class ServiceConfig:
     batch_max: int = 8                    # jobs fused into one run_pairs call
     processes: int = 1                    # worker processes per batch
     retries: int = 1                      # per-pair retries inside a batch
+    backend: str = "process"              # run_pairs engine: process | vec
     ttl: float | None = None              # result-store TTL seconds
     store_path: str | None = None         # None = in-memory store
     cache_dir: str | None = None          # ExperimentRunner result cache
@@ -306,6 +307,7 @@ class SimulationService:
                 manifest=batch_manifest,
                 sweep="service",
                 seed=simcfg.seed,
+                backend=self.cfg.backend,
             )
         except Exception as exc:
             for job in batch:

@@ -79,6 +79,7 @@ class WorkerConfig:
     capacity: int = 4                    # jobs requested per lease
     poll_interval: float = 0.5           # idle sleep between empty leases
     retries: int = 1                     # per-pair retries inside a batch
+    backend: str = "process"             # run_pairs engine: process | vec
     trace_cache_dir: str | None = None   # persistent trace artifacts
     max_leases: int | None = None        # exit after N non-empty leases (tests)
     quiet: bool = False
@@ -258,6 +259,7 @@ class Worker:
                 manifest=manifest,
                 sweep="worker",
                 seed=simcfg.seed,
+                backend=self.cfg.backend,
             )
         except Exception as exc:  # SweepError after retries, or anything else
             self.stats["jobs_failed"] += len(group)

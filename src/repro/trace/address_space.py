@@ -186,7 +186,7 @@ class AddressSpace:
     def l2_resident_lines(self) -> list[int]:
         """Byte-addressed lines that are L2-resident in steady state (the
         warm tier's full footprint)."""
-        lines = []
+        lines: list[int] = []
         for g in range(self.warm_groups):
             for k in range(self.warm_tags):
                 line = self._warm_set_base + g + k * L1_SETS

@@ -117,7 +117,7 @@ def schema_info() -> dict[str, object]:
 
 def _encode(trace: SyntheticTrace) -> bytes:
     """Serialize a trace to the version-1 artifact byte string."""
-    parts = []
+    parts: list[bytes] = []
     for typecode, field in _FIELDS:
         arr = array(typecode, [int(v) for v in getattr(trace, field)])
         if sys.byteorder != "little":  # pragma: no cover - exotic hosts

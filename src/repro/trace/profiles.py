@@ -106,7 +106,18 @@ class BenchmarkProfile:
         return self.thread_type == "MEM"
 
 
-def _p(name, ttype, l1, l2, loads, stores, br, dep, blocks, **kw) -> BenchmarkProfile:
+def _p(
+    name: str,
+    ttype: str,
+    l1: float,
+    l2: float,
+    loads: float,
+    stores: float,
+    br: float,
+    dep: int,
+    blocks: int,
+    **kw: float,
+) -> BenchmarkProfile:
     """Compact constructor: l1/l2 given in percent, like Table 2(a)."""
     return BenchmarkProfile(
         name=name,

@@ -13,12 +13,17 @@ makes sweeping 6 policies over the same workload pay generation cost once.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.isa.opcodes import BranchKind, OpClass
 from repro.isa.registers import REG_NONE
 from repro.trace.address_space import CODE_OFFSET, LINE_BYTES, AddressSpace, set_stagger
 from repro.trace.codegen import INSTR_BYTES, CodeLayout
 from repro.trace.profiles import BenchmarkProfile
 from repro.utils.rng import SplitMix64, derive_seed
+
+if TYPE_CHECKING:
+    from repro.trace.artifact import TraceArtifactCache
 
 __all__ = [
     "SyntheticTrace",
@@ -102,7 +107,7 @@ class SyntheticTrace:
         # does ONE list indexing per instruction instead of eight (this is
         # the "preallocated array" the hot loop replays; the parallel lists
         # stay for calibration/analysis code that scans one field).
-        self.rec: list[tuple] = list(
+        self.rec: list[tuple[int, int, int, int, int, int, int, int, int]] = list(
             zip(
                 self.op,
                 self.pc,
@@ -339,7 +344,7 @@ class SyntheticTrace:
     def __len__(self) -> int:
         return self.length
 
-    def record(self, i: int) -> tuple:
+    def record(self, i: int) -> tuple[int, ...]:
         """One record as a tuple (testing/debugging; the simulator indexes
         the parallel lists directly)."""
         return (
@@ -362,17 +367,17 @@ class SyntheticTrace:
         return counts
 
 
-_TRACE_CACHE: dict[tuple, SyntheticTrace] = {}
+_TRACE_CACHE: dict[tuple[BenchmarkProfile, int, int, int, int], SyntheticTrace] = {}
 _STATS = {"mem_hits": 0, "generated": 0}
 
 #: Optional disk layer (a :class:`repro.trace.artifact.TraceArtifactCache`).
 #: Held here (not in artifact.py) so the hot ``generate_trace`` path needs no
 #: import of the artifact module; installed via ``set_trace_artifact_cache``
 #: or the ``trace_cache_installed`` context manager.
-_ARTIFACT_CACHE = None
+_ARTIFACT_CACHE: TraceArtifactCache | None = None
 
 
-def set_trace_artifact_cache(cache):
+def set_trace_artifact_cache(cache: TraceArtifactCache | None) -> TraceArtifactCache | None:
     """Install (or with ``None`` remove) the persistent artifact cache that
     backs ``generate_trace``; returns the previously installed cache so
     callers can scope the installation and restore it."""
@@ -382,7 +387,7 @@ def set_trace_artifact_cache(cache):
     return prev
 
 
-def get_trace_artifact_cache():
+def get_trace_artifact_cache() -> TraceArtifactCache | None:
     """The currently installed persistent trace cache (or ``None``)."""
     return _ARTIFACT_CACHE
 

@@ -30,10 +30,24 @@ preset) and compares two things against a checked-in baseline file
    tolerance is twice the speed tolerance (override: ``sweep_tolerance``
    in the baseline file).
 
+4. **Vectorized-backend throughput** — the batched screening sweep (every
+   registry policy over the 2/4-thread workload mix) through
+   ``repro.core.vec`` versus per-pair cold serial execution. The speedup
+   ratio is self-normalizing (both arms run on the same host) and has a
+   hard floor (``vec.min_speedup`` in the baseline, default 5x); the
+   batch's ``vec_cycles_per_sec`` additionally gets the usual
+   host-normalized regression check.
+
+A separate mode, ``--backend-parity``, compares the staged, fused and
+vectorized engines bit-for-bit (results *and* per-thread gating cycles) on
+every guarded pair — the CI gate that pins the vectorized backend
+cycle-exact.
+
 Usage::
 
     python -m repro.utils.perfguard --baseline benchmarks/baselines.json
     python -m repro.utils.perfguard --baseline benchmarks/baselines.json --update
+    python -m repro.utils.perfguard --backend-parity
 
 Exit status: 0 = within tolerance, 1 = regression or digest drift,
 2 = bad invocation (missing baseline without ``--update``).
@@ -56,11 +70,14 @@ __all__ = [
     "GUARDED_POLICIES",
     "GUARDED_WORKLOADS",
     "SWEEP_PAIRS",
+    "VEC_SCREEN_POLICIES",
     "calibration_score",
+    "collect_backend_parity",
     "collect_digests",
     "collect_obs_overhead",
     "collect_speed",
     "collect_sweep",
+    "collect_vec_speed",
     "compare",
     "main",
 ]
@@ -195,6 +212,142 @@ def collect_sweep(processes: int = _SWEEP_PROCESSES) -> dict[str, float]:
     }
 
 
+#: The vectorized-backend measurement: a *screening* sweep — every policy in
+#: the registry over the paper's 2/4-thread workload mix at short windows,
+#: the "rank candidate policies cheaply" regime the batch backend exists
+#: for. The serial arm pays what a fresh worker process pays per pair (cold
+#: in-process trace memo); the batch arm shares setup across the whole
+#: sweep, so the ratio is the backend's honest end-to-end win.
+VEC_SCREEN_POLICIES: tuple[str, ...] = (
+    "icount", "stall", "flush", "dg", "pdg", "dwarn",
+    "dwarn-pure", "dcpred", "rr", "brcount", "misscount",
+)
+_VEC_SIMCFG = dict(
+    warmup_cycles=100, measure_cycles=400, trace_length=6_000, seed=777
+)
+_VEC_REPEATS = 2
+#: CI floor for the batched-sweep speedup (overridable per baseline file
+#: via ``vec.min_speedup``): the vectorized backend must beat per-pair cold
+#: serial execution by at least this factor on the screening sweep.
+_VEC_MIN_SPEEDUP = 5.0
+
+
+def collect_vec_speed(repeats: int = _VEC_REPEATS) -> dict[str, float]:
+    """Measure the vectorized backend's batched-sweep throughput.
+
+    Runs the screening sweep (:data:`VEC_SCREEN_POLICIES` x
+    :data:`GUARDED_WORKLOADS`) both ways, ``repeats`` times each,
+    alternating arms so host noise lands on both equally:
+
+    - **serial-cold**: one pair at a time, clearing the in-process trace
+      memo between pairs — the setup cost a fresh worker process pays;
+    - **batch**: one ``VecBatchSimulator`` over all lanes.
+
+    Reports best-of-N wall-clock for each arm, the speedup ratio,
+    ``vec_cycles_per_sec`` (simulated cycles per second across the whole
+    batch) and its host-normalized score. Results are asserted identical
+    between the arms (cheap insurance on top of ``--backend-parity``).
+    """
+    from repro.core import Simulator, make_policy
+    from repro.core.vec import VecBatchSimulator
+    from repro.trace.synthetic import clear_trace_cache
+    from repro.workloads import build_programs, get_workload
+
+    calib = calibration_score()
+    machine = get_preset("baseline")
+    simcfg = SimulationConfig(**_VEC_SIMCFG)
+    lanes = [(wl, pol) for wl in GUARDED_WORKLOADS for pol in VEC_SCREEN_POLICIES]
+
+    def serial_cold() -> tuple[float, list]:
+        results = []
+        t0 = time.perf_counter()
+        for wl, pol in lanes:
+            clear_trace_cache()  # what a fresh worker process pays
+            programs = build_programs(get_workload(wl), simcfg)
+            results.append(Simulator(machine, programs, make_policy(pol), simcfg).run())
+        return time.perf_counter() - t0, results
+
+    def batch() -> tuple[float, list]:
+        clear_trace_cache()
+        b = VecBatchSimulator(machine, simcfg, lanes)
+        t0 = time.perf_counter()
+        results = b.run()
+        return time.perf_counter() - t0, results
+
+    serial_secs: list[float] = []
+    batch_secs: list[float] = []
+    batch_cycles = 0
+    for _ in range(repeats):
+        s_secs, s_res = serial_cold()
+        b_secs, b_res = batch()
+        if s_res != b_res:
+            raise AssertionError("vec batch results differ from serial run")
+        serial_secs.append(s_secs)
+        batch_secs.append(b_secs)
+        batch_cycles = sum(r.cycles for r in b_res)
+    best_serial = min(serial_secs)
+    best_batch = min(batch_secs)
+    vec_cps = batch_cycles / best_batch
+    return {
+        "lanes": len(lanes),
+        "serial_secs": round(best_serial, 3),
+        "batch_secs": round(best_batch, 3),
+        "batch_speedup": round(best_serial / best_batch, 2),
+        "vec_cycles_per_sec": round(vec_cps, 1),
+        "calibration_mops": round(calib, 3),
+        "normalized_vec_score": round(vec_cps / calib, 1),
+    }
+
+
+def collect_backend_parity() -> dict[str, Any]:
+    """Run every guarded (workload, policy) pair through all three engines
+    — staged ``_step``, fused ``_run_fast``, and the vectorized batch — and
+    compare results *and* per-thread gating statistics exactly.
+
+    The staged engine is forced the same way the property suite does: any
+    instance-dict stage override makes ``_fast_eligible`` refuse the fused
+    loop. The vec arm runs all pairs as one lockstep batch, which is
+    exactly how the backend amortizes setup in production.
+    """
+    from repro.core import Simulator, make_policy
+    from repro.core.vec import VecBatchSimulator
+    from repro.workloads import build_programs, get_workload
+
+    machine = get_preset("baseline")
+    simcfg = SimulationConfig(**_DIGEST_SIMCFG)
+    lanes = [(wl, pol) for wl in GUARDED_WORKLOADS for pol in GUARDED_POLICIES]
+
+    def one(workload: str, policy: str, staged: bool):
+        programs = build_programs(get_workload(workload), simcfg)
+        sim = Simulator(machine, programs, make_policy(policy), simcfg)
+        if staged:
+            sim._step = sim._step  # instance override -> staged engine
+        res = sim.run()
+        return res, list(sim.stats.gated_cycles)
+
+    vec_batch = VecBatchSimulator(machine, simcfg, lanes)
+    vec_results = vec_batch.run()
+    vec_gated = [list(r.sim.stats.gated_cycles) for r in vec_batch._runs]
+
+    pairs: dict[str, Any] = {}
+    all_match = True
+    for i, (wl, pol) in enumerate(lanes):
+        staged_res, staged_gated = one(wl, pol, staged=True)
+        fused_res, fused_gated = one(wl, pol, staged=False)
+        match = (
+            staged_res == fused_res == vec_results[i]
+            and staged_gated == fused_gated == vec_gated[i]
+        )
+        all_match = all_match and match
+        pairs[f"{wl}/{pol}"] = {
+            "match": match,
+            "cycles": staged_res.cycles,
+            "committed": list(staged_res.committed),
+            "gated_cycles": staged_gated,
+        }
+    return {"pairs": pairs, "all_match": all_match}
+
+
 #: Instrumented-overhead measurement shape: long enough that per-window
 #: sampling cost is visible against real simulation work.
 _OBS_SIMCFG = dict(
@@ -309,6 +462,31 @@ def compare(
                 f"{cur_norm:.1f} > ceiling {ceiling:.1f} "
                 f"(baseline {base_norm:.1f}, tolerance {sweep_tol:.0%})"
             )
+
+    # Vectorized backend: the batched-sweep speedup has a hard floor (the
+    # backend's reason to exist), and its cycles/sec gets the same
+    # normalized-regression check as the single-run microbench.
+    base_vec = baseline.get("vec", {})
+    cur_vec = current.get("vec", {})
+    if base_vec and cur_vec:
+        floor_ratio = float(base_vec.get("min_speedup", _VEC_MIN_SPEEDUP))
+        cur_ratio = float(cur_vec.get("batch_speedup", 0.0))
+        if cur_ratio < floor_ratio:
+            failures.append(
+                f"vec backend speedup {cur_ratio:.2f}x below the "
+                f"{floor_ratio:.1f}x floor (batched screening sweep vs "
+                "cold serial)"
+            )
+        base_vscore = float(base_vec.get("normalized_vec_score", 0.0))
+        cur_vscore = float(cur_vec.get("normalized_vec_score", 0.0))
+        if base_vscore > 0.0:
+            vfloor = base_vscore * (1.0 - tolerance)
+            if cur_vscore < vfloor:
+                failures.append(
+                    "vec backend regression: normalized vec score "
+                    f"{cur_vscore:.1f} < floor {vfloor:.1f} "
+                    f"(baseline {base_vscore:.1f}, tolerance {tolerance:.0%})"
+                )
     return failures
 
 
@@ -316,9 +494,36 @@ def _build_current(skip_speed: bool, skip_sweep: bool) -> dict[str, Any]:
     current: dict[str, Any] = {"digests": collect_digests()}
     if not skip_speed:
         current["speed"] = collect_speed()
+        current["vec"] = collect_vec_speed()
     if not (skip_speed or skip_sweep):
         current["sweep"] = collect_sweep()
     return current
+
+
+def _backend_parity_check() -> int:
+    """The ``--backend-parity`` mode: staged vs fused vs vectorized, every
+    guarded pair, results and gating stats bit-identical. Exit status."""
+    parity = collect_backend_parity()
+    for key, rec in sorted(parity["pairs"].items()):
+        status = "ok " if rec["match"] else "FAIL"
+        print(
+            f"perfguard parity [{status}] {key}: cycles={rec['cycles']} "
+            f"committed={rec['committed']} gated={rec['gated_cycles']}"
+        )
+    n = len(parity["pairs"])
+    if not parity["all_match"]:
+        bad = [k for k, rec in parity["pairs"].items() if not rec["match"]]
+        print(
+            f"perfguard FAIL: backend divergence on {len(bad)}/{n} pairs: "
+            f"{', '.join(sorted(bad))}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perfguard OK: staged, fused and vectorized engines bit-identical "
+        f"on all {n} pairs (results and gating stats)"
+    )
+    return 0
 
 
 def _obs_overhead_check(tolerance: float) -> int:
@@ -382,6 +587,12 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the parallel-sweep wall-clock measurement only",
     )
     parser.add_argument(
+        "--backend-parity",
+        action="store_true",
+        help="compare the staged, fused and vectorized engines bit-for-bit "
+        "on every guarded pair (results and gating stats); no timing",
+    )
+    parser.add_argument(
         "--obs-overhead",
         action="store_true",
         help="measure interval-metrics overhead only: one instrumented vs one "
@@ -394,6 +605,9 @@ def main(argv: list[str] | None = None) -> int:
         help="max allowed instrumented-run overhead fraction (default: 0.10)",
     )
     args = parser.parse_args(argv)
+
+    if args.backend_parity:
+        return _backend_parity_check()
 
     if args.obs_overhead:
         return _obs_overhead_check(args.obs_tolerance)
@@ -425,6 +639,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline = dict(baseline)
         baseline.pop("speed", None)
         baseline.pop("sweep", None)
+        baseline.pop("vec", None)
     if args.skip_sweep:
         baseline = dict(baseline)
         baseline.pop("sweep", None)
@@ -453,6 +668,13 @@ def main(argv: list[str] | None = None) -> int:
             f"({sweep['pairs']} pairs, -j{sweep['processes']}), normalized "
             f"{sweep['normalized_sweep_secs']:.1f} vs baseline "
             f"{baseline.get('sweep', {}).get('normalized_sweep_secs', 0.0):.1f}"
+        )
+    vec = current.get("vec")
+    if vec is not None:
+        print(
+            f"perfguard OK: vec backend {vec['batch_speedup']:.2f}x over "
+            f"cold serial ({vec['lanes']} lanes, batch {vec['batch_secs']:.2f}s), "
+            f"{vec['vec_cycles_per_sec']:,.0f} cycles/s"
         )
     return 0
 

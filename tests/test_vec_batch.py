@@ -1,0 +1,197 @@
+"""The vectorized batch backend is cycle-exact and wiring-correct.
+
+``repro.core.vec`` advances many (workload, policy, seed) lanes in lockstep
+through one process. Its contract is *bit-identity*: every lane's
+``SimResult`` equals the one ``Simulator.run()`` would produce for that run
+alone — across policies, thread mixes, per-lane seeds, pre-warm template
+cloning, commit-limit early exit, and with or without numpy (the control
+plane falls back to pure Python). A hypothesis sweep fuzzes the batch
+against the *staged* reference engine, crossing both the lockstep driver
+and the fused/staged boundary in one property.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimulationConfig, baseline
+from repro.core import Simulator, make_policy
+from repro.core.vec import Lane, VecBatchSimulator, VecLaneError, run_batch
+from repro.core.vec import batch as vecbatch
+from repro.experiments.parallel import run_pairs
+from repro.workloads import build_programs, build_single, get_workload
+
+SIX_POLICIES = ("icount", "stall", "flush", "dg", "pdg", "dwarn")
+
+
+def _simcfg(**kw) -> SimulationConfig:
+    base = dict(warmup_cycles=60, measure_cycles=240, trace_length=3_000, seed=424242)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def _serial_result(workload: str, policy: str, simcfg: SimulationConfig, *, staged=False):
+    """The per-run reference: one Simulator, the public run() loop."""
+    try:
+        programs = build_programs(get_workload(workload), simcfg)
+    except KeyError:
+        programs = build_single(workload, simcfg)
+    sim = Simulator(baseline(), programs, make_policy(policy), simcfg)
+    if staged:
+        sim._step = sim._step
+        assert not sim._fast_eligible()
+    return sim.run()
+
+
+def test_batch_matches_serial_across_policies():
+    """Six policies x two thread mixes in one batch: the canonical screening
+    shape (shared trace walks, shared pre-warm template per group)."""
+    simcfg = _simcfg()
+    lanes = [(wl, pol) for wl in ("2-MEM", "4-MIX") for pol in SIX_POLICIES]
+    results = run_batch(baseline(), simcfg, lanes)
+    assert len(results) == len(lanes)
+    for (wl, pol), got in zip(lanes, results):
+        assert got == _serial_result(wl, pol, simcfg), f"{wl}/{pol} diverged"
+
+
+def test_batch_matches_serial_with_mixed_seeds_and_lone_benchmark():
+    """Per-lane seeds split lanes into different setup groups; a lone
+    benchmark name (not a workload) takes the build_single path; duplicate
+    lanes must not alias each other's state."""
+    simcfg = _simcfg()
+    lanes = [
+        Lane("2-MEM", "dwarn"),
+        Lane("2-MEM", "dwarn", seed=7),
+        Lane("mcf", "icount"),
+        Lane("2-MEM", "dwarn"),
+    ]
+    results = run_batch(baseline(), simcfg, lanes)
+    for lane, got in zip(lanes, results):
+        cfg = simcfg if lane.seed is None else dataclasses.replace(simcfg, seed=lane.seed)
+        assert got == _serial_result(lane.workload, lane.policy, cfg), lane
+    assert results[0] == results[3]  # duplicates agree
+    assert results[0] != results[1]  # reseeded lane actually differs
+
+
+def test_batch_matches_serial_with_commit_limit():
+    """Early exit: the 64-cycle-aligned checkpoint logic must fire on the
+    same cycle for a batched lane as for the lone run."""
+    simcfg = _simcfg(commit_limit=120)
+    lanes = [("2-MEM", pol) for pol in SIX_POLICIES]
+    results = run_batch(baseline(), simcfg, lanes)
+    for (wl, pol), got in zip(lanes, results):
+        assert got == _serial_result(wl, pol, simcfg), f"{wl}/{pol} diverged"
+    # The limit actually bit: lanes finished before the full window.
+    assert any(res.cycles < simcfg.total_cycles for res in results)
+
+
+def test_pure_python_fallback_matches_numpy_path(monkeypatch):
+    """With the numpy control plane disabled the backend must produce the
+    same results (the no-numpy CI leg runs this for real)."""
+    simcfg = _simcfg(commit_limit=120)
+    lanes = [("2-MEM", "icount"), ("2-MEM", "dwarn"), ("4-MIX", "pdg")]
+    with_np = run_batch(baseline(), simcfg, lanes)
+    monkeypatch.setattr(vecbatch, "_np", None)
+    without_np = run_batch(baseline(), simcfg, lanes)
+    assert with_np == without_np
+
+
+def test_chunk_size_is_behavior_neutral():
+    simcfg = _simcfg()
+    lanes = [("4-MIX", "dwarn"), ("4-MIX", "flush")]
+    coarse = run_batch(baseline(), simcfg, lanes, chunk=4096)
+    fine = run_batch(baseline(), simcfg, lanes, chunk=64)
+    assert coarse == fine
+
+
+def test_progress_callback_and_timing_attribution():
+    simcfg = _simcfg()
+    lanes = [("2-MEM", "icount"), ("2-MEM", "stall")]
+    seen = []
+    batch = VecBatchSimulator(
+        baseline(), simcfg, lanes, progress=lambda done, total, cyc: seen.append((done, total))
+    )
+    batch.run()
+    assert seen == [(1, 2), (2, 2)]
+    assert len(batch.lane_seconds) == 2
+    assert all(s >= 0.0 for s in batch.lane_seconds)
+    assert batch.batch_seconds > 0.0
+    # run() is idempotent: the cached results come back, no re-simulation.
+    again = batch.run()
+    assert again is batch.results
+
+
+def test_ipc_matrix_shape_and_padding():
+    simcfg = _simcfg()
+    batch = VecBatchSimulator(baseline(), simcfg, [("2-MEM", "icount"), ("4-MIX", "icount")])
+    results = batch.run()
+    mat = batch.ipc_matrix()
+    rows = [list(row) for row in mat]
+    assert len(rows) == 2 and len(rows[0]) == 4
+    assert rows[0][:2] == list(results[0].ipc)
+    assert all(x != x for x in rows[0][2:])  # NaN padding on the 2-thread lane
+    assert rows[1] == list(results[1].ipc)
+
+
+def test_lane_coercion_and_errors():
+    assert Lane.coerce(("2-MEM", "dwarn")) == Lane("2-MEM", "dwarn")
+    assert Lane.coerce(("2-MEM", "dwarn", 9)) == Lane("2-MEM", "dwarn", 9)
+    with pytest.raises(ValueError):
+        Lane.coerce(("2-MEM",))
+    with pytest.raises(ValueError):
+        VecBatchSimulator(baseline(), _simcfg(), [])
+    with pytest.raises(VecLaneError) as exc:
+        run_batch(baseline(), _simcfg(), [("2-MEM", "no-such-policy")])
+    assert exc.value.workload == "2-MEM"
+    assert exc.value.policy == "no-such-policy"
+
+
+def test_run_pairs_vec_backend_matches_process_backend(tmp_path):
+    simcfg = _simcfg()
+    pairs = [("2-MEM", pol) for pol in ("icount", "dwarn", "flush")]
+    serial = run_pairs(baseline(), simcfg, list(pairs), 1)
+    vec = run_pairs(baseline(), simcfg, list(pairs), 1, backend="vec")
+    assert [(w, p) for w, p, _ in vec] == [(w, p) for w, p, _ in serial]
+    assert [r for _, _, r in vec] == [r for _, _, r in serial]
+    with pytest.raises(ValueError):
+        run_pairs(baseline(), simcfg, list(pairs), 1, backend="bogus")
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: vec batch vs the *staged* reference engine
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    workload=st.sampled_from(["2-ILP", "2-MEM", "2-MIX", "4-MIX"]),
+    policies=st.lists(st.sampled_from(SIX_POLICIES), min_size=2, max_size=4),
+    seed=st.integers(min_value=0, max_value=2**20),
+    warmup=st.sampled_from([0, 50]),
+    cycles=st.integers(min_value=60, max_value=300),
+    limit=st.sampled_from([0, 150]),
+)
+def test_vec_matches_staged_reference(workload, policies, seed, warmup, cycles, limit):
+    """Randomized short runs: every batched lane must equal the staged
+    per-cycle engine run alone — one property crossing the lockstep driver,
+    the fused kernel, warm-up boundaries, and commit-limit checkpoints."""
+    simcfg = SimulationConfig(
+        warmup_cycles=warmup,
+        measure_cycles=cycles,
+        trace_length=3_000,
+        seed=seed,
+        commit_limit=limit,
+    )
+    lanes = [(workload, pol) for pol in policies]
+    results = run_batch(baseline(), simcfg, lanes)
+    for (wl, pol), got in zip(lanes, results):
+        assert got == _serial_result(wl, pol, simcfg, staged=True), f"{wl}/{pol} diverged"
