@@ -161,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep engine: process pool, or the in-process lockstep "
         "vectorized batch backend (bit-identical results)",
     )
+    p_rep.add_argument(
+        "--vec-kernel", choices=("auto", "array", "lane"), default="auto",
+        help="vec-backend stepping engine: auto (array when numpy is "
+        "present), the array-stepped kernel, or per-lane stepping",
+    )
 
     p_cache = sub.add_parser(
         "cache", help="inspect or wipe the result/trace caches"
@@ -209,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("process", "vec"), default="process",
         help="batch engine: process pool, or the in-process lockstep "
         "vectorized batch backend (bit-identical results)",
+    )
+    p_srv.add_argument(
+        "--vec-kernel", choices=("auto", "array", "lane"), default="auto",
+        help="vec-backend stepping engine: auto (array when numpy is "
+        "present), the array-stepped kernel, or per-lane stepping",
     )
     p_srv.add_argument(
         "--store", default=".cache/service/results.jsonl", metavar="PATH",
@@ -272,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("process", "vec"), default="process",
         help="batch engine: process pool, or the in-process lockstep "
         "vectorized batch backend (bit-identical results)",
+    )
+    p_wrk.add_argument(
+        "--vec-kernel", choices=("auto", "array", "lane"), default="auto",
+        help="vec-backend stepping engine: auto (array when numpy is "
+        "present), the array-stepped kernel, or per-lane stepping",
     )
     p_wrk.add_argument(
         "--trace-cache", default=None, metavar="DIR",
@@ -458,6 +473,7 @@ def _serve_command(args: argparse.Namespace) -> int:
         processes=args.processes,
         retries=args.retries,
         backend=args.backend,
+        vec_kernel=args.vec_kernel,
         ttl=args.ttl,
         store_path=args.store or None,
         cache_dir=args.cache_dir or None,
@@ -486,6 +502,7 @@ def _worker_command(args: argparse.Namespace) -> int:
         poll_interval=args.poll_interval,
         retries=args.retries,
         backend=args.backend,
+        vec_kernel=args.vec_kernel,
         trace_cache_dir=trace_dir,
         max_leases=args.max_leases,
     )
@@ -577,6 +594,7 @@ def main(argv: list[str] | None = None) -> int:
                     manifest=manifest,
                     sweep=machine,
                     backend=args.backend,
+                    vec_kernel=args.vec_kernel,
                 )
                 print(
                     f"[prefetch] {machine}: {n} simulations "
@@ -598,6 +616,7 @@ def main(argv: list[str] | None = None) -> int:
                 progress=seed_progress,
                 manifest=manifest,
                 backend=args.backend,
+                vec_kernel=args.vec_kernel,
             )
             print(
                 f"[prefetch] seed sweep: {n} simulations "

@@ -1,10 +1,14 @@
 """Vectorized batch backend: many simulations advanced in lockstep.
 
-See :mod:`repro.core.vec.batch` for the design. Public surface:
+See :mod:`repro.core.vec.batch` for the driver design and
+:mod:`repro.core.vec.kernel` for the stepping engines. Public surface:
 
 - :class:`VecBatchSimulator` — the batch engine (``run() -> list[SimResult]``)
 - :class:`Lane` — one (workload, policy, seed) run specification
 - :func:`run_batch` — one-call convenience wrapper
+- :data:`VEC_KERNELS` — accepted ``vec_kernel`` knob values
+  (``auto`` | ``array`` | ``lane``); :func:`resolve_kernel` maps the knob
+  to the effective engine (``auto`` → ``array`` with numpy, else ``lane``)
 - :data:`HAVE_NUMPY` — whether the numpy control plane is active (the
   backend falls back to pure Python when numpy is absent)
 """
@@ -16,5 +20,21 @@ from repro.core.vec.batch import (
     VecLaneError,
     run_batch,
 )
+from repro.core.vec.kernel import (
+    VEC_KERNELS,
+    ArrayKernel,
+    LaneKernel,
+    resolve_kernel,
+)
 
-__all__ = ["HAVE_NUMPY", "Lane", "VecBatchSimulator", "VecLaneError", "run_batch"]
+__all__ = [
+    "HAVE_NUMPY",
+    "VEC_KERNELS",
+    "ArrayKernel",
+    "Lane",
+    "LaneKernel",
+    "VecBatchSimulator",
+    "VecLaneError",
+    "resolve_kernel",
+    "run_batch",
+]

@@ -3,8 +3,10 @@
 One :class:`VecBatchSimulator` advances a whole batch of (workload, policy,
 seed) runs — *lanes* — through the measurement window together, in fixed
 lockstep chunks, and returns the same ``SimResult`` objects the per-run
-``Simulator.run()`` API produces. Results are **cycle-exact**: every lane
-steps through the reference fused kernel, and the batch driver reproduces
+``Simulator.run()`` API produces. Results are **cycle-exact**: every active
+cycle steps through the reference fused kernel (the default *array* kernel
+additionally parks lanes across provably-idle spans — see
+:mod:`repro.core.vec.kernel`), and the batch driver reproduces
 ``Simulator._run_loop``'s pause points (warm-up boundary, 64-cycle-aligned
 commit-limit checkpoints) exactly, so a lane's result is bit-identical to
 running it alone. ``repro.utils.perfguard --backend-parity`` pins this.
@@ -45,6 +47,7 @@ from repro.core.columnar import capture_warm_hierarchy, restore_warm_hierarchy
 from repro.core.policies import make_policy
 from repro.core.result import SimResult
 from repro.core.simulator import Simulator
+from repro.core.vec.kernel import VEC_KERNELS, LaneStepError, make_kernel
 from repro.trace.artifact import TraceArtifactCache
 from repro.workloads import build_programs, build_single, get_workload
 
@@ -145,6 +148,14 @@ class VecBatchSimulator:
     multiple of 64 so commit-limit checkpoints stay aligned); it only
     bounds how often the driver regains control — any chunking is
     behavior-neutral, exactly like ``Simulator.run_cycles``.
+
+    ``vec_kernel`` selects the stepping engine (see
+    :mod:`repro.core.vec.kernel`): ``"array"`` is the array-stepped kernel
+    (columnar park/wake control plane + quiescent-span skipping),
+    ``"lane"`` per-lane stepping through the fused scalar loop, and
+    ``"auto"`` (default) picks ``"array"`` when numpy is present. Results
+    are bit-identical either way — the backend-parity gate pins it — so
+    the knob exists for A/B measurement and the no-numpy fallback.
     """
 
     def __init__(
@@ -156,12 +167,24 @@ class VecBatchSimulator:
         trace_cache: TraceArtifactCache | None = None,
         chunk: int = 512,
         progress: BatchProgressFn | None = None,
+        vec_kernel: str = "auto",
     ) -> None:
         self.machine = machine
         self.simcfg = simcfg
         self.lanes: list[Lane] = [Lane.coerce(s) for s in lanes]
         if not self.lanes:
             raise ValueError("VecBatchSimulator needs at least one lane")
+        if vec_kernel not in VEC_KERNELS:
+            raise ValueError(
+                f"vec_kernel must be one of {VEC_KERNELS}, got {vec_kernel!r}"
+            )
+        self.vec_kernel = vec_kernel
+        #: Effective kernel name after :func:`resolve_kernel` ran ("array"
+        #: or "lane"); None until :meth:`run` resolves it.
+        self.kernel_used: str | None = None
+        #: Idle cycles the array kernel skipped as parked spans (0 for the
+        #: lane kernel) — telemetry for docs/benchmarks.
+        self.idle_cycles_skipped = 0
         self.trace_cache = trace_cache
         self.chunk = max(64, chunk - chunk % 64)
         self.progress = progress
@@ -279,6 +302,8 @@ class VecBatchSimulator:
             if self.progress is not None:
                 self.progress(finished, n_lanes, r.sim.cycle)
 
+        stepper = make_kernel(self.vec_kernel, len(self.lanes))
+        self.kernel_used = stepper.name
         gc_was_enabled = gc.isenabled()
         gc.disable()  # trace walks and stepping both churn short-lived tuples
         t0 = time.perf_counter()
@@ -297,11 +322,13 @@ class VecBatchSimulator:
                         stop = ckpt
                 if cyc + chunk < stop:
                     stop = cyc + chunk
-                for r in active:
-                    try:
-                        r.sim.run_cycles(stop - cyc)
-                    except Exception as exc:
-                        raise VecLaneError(f"lane failed at cycle {cyc}: {exc!r}", r.lane) from exc
+                try:
+                    stepper.advance(active, stop)
+                except LaneStepError as exc:
+                    raise VecLaneError(
+                        f"lane failed at cycle {cyc}: {exc.cause!r}",
+                        self.lanes[exc.index],
+                    ) from exc
                 cyc = stop
                 if limit and cyc > warmup and (cyc & 63) == 0:
                     for r in self._commit_hits(active, limit):
@@ -313,6 +340,7 @@ class VecBatchSimulator:
             if gc_was_enabled:
                 gc.enable()
         self.batch_seconds = time.perf_counter() - t0
+        self.idle_cycles_skipped = sum(r.sim.idle_cycles_skipped for r in self._runs)
 
         results = [r.result for r in self._runs]
         assert all(res is not None for res in results)
@@ -358,8 +386,15 @@ def run_batch(
     trace_cache: TraceArtifactCache | None = None,
     chunk: int = 512,
     progress: BatchProgressFn | None = None,
+    vec_kernel: str = "auto",
 ) -> list[SimResult]:
     """One-call convenience: build a :class:`VecBatchSimulator` and run it."""
     return VecBatchSimulator(
-        machine, simcfg, lanes, trace_cache=trace_cache, chunk=chunk, progress=progress
+        machine,
+        simcfg,
+        lanes,
+        trace_cache=trace_cache,
+        chunk=chunk,
+        progress=progress,
+        vec_kernel=vec_kernel,
     ).run()

@@ -1,0 +1,178 @@
+"""Stepping engines for the vectorized batch backend.
+
+``repro.core.vec.batch`` drives its lanes in lockstep *segments* (warm-up
+boundary, 64-aligned commit-limit checkpoints, chunk edges); this module
+provides the engines that advance every active lane across one segment:
+
+- :class:`LaneKernel` — per-lane stepping, the reference engine and the
+  no-numpy fallback: each lane runs the whole segment through
+  ``Simulator.run_cycles`` (the fused scalar loop), exactly as the batch
+  backend originally shipped.
+
+- :class:`ArrayKernel` — the array-stepped engine. Per-lane cycle positions
+  and park/wake cycles live in ``(B,)`` numpy columns, and every segment
+  opens with one vectorized control-plane step — a clipped minimum across
+  the whole batch — that resolves each parked lane's idle-span jump at
+  once. A lane only consumes interpreter time while *active*: it enters
+  the fused loop once per segment via ``Simulator.run_cycles_skip_idle``,
+  which jumps quiescent spans in place (``Simulator.quiescent_wake``), and
+  at the segment edge the lane parks with its next wake cycle. Park state
+  persists across segments, so a lane idling through many chunks pays one
+  clipped jump per chunk — never re-entering the interpreter loop — not
+  one trip per cycle.
+
+Cycle-exactness: a parked span is, by ``Simulator.quiescent_wake``'s
+contract, a run of cycles the scalar engine would have executed as pure
+no-ops — no due events, nothing committable, dispatchable or fetchable —
+and every active cycle still steps through the reference fused kernel.
+``perfguard --backend-parity`` pins staged = fused = vec-lane = vec-array
+bit-for-bit (results *and* gating stats) on every guarded pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, Sequence
+
+from repro.core.simulator import Simulator
+
+try:  # numpy is optional: "auto" resolves to the lane kernel without it
+    import numpy as _numpy
+
+    _np: Any = _numpy
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+HAVE_NUMPY: bool = _np is not None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "VEC_KERNELS",
+    "ArrayKernel",
+    "LaneKernel",
+    "LaneStepError",
+    "SteppableLane",
+    "make_kernel",
+    "resolve_kernel",
+]
+
+#: Accepted ``vec_kernel`` knob values: ``"auto"`` picks the array kernel
+#: when numpy is importable and falls back to per-lane stepping otherwise.
+VEC_KERNELS: tuple[str, ...] = ("auto", "array", "lane")
+
+
+class LaneStepError(RuntimeError):
+    """A lane raised while stepping. Carries the lane *index* so the batch
+    driver can attribute the failure to its (workload, policy, seed)."""
+
+    def __init__(self, index: int, cause: BaseException) -> None:
+        super().__init__(f"lane {index} failed: {cause!r}")
+        self.index = index
+        self.cause = cause
+
+
+class SteppableLane(Protocol):
+    """What a kernel needs from the batch driver's per-lane state."""
+
+    index: int
+    sim: Simulator
+
+
+def resolve_kernel(requested: str) -> str:
+    """Map the ``vec_kernel`` knob to an effective kernel name.
+
+    ``"auto"`` resolves to ``"array"`` when numpy is present, ``"lane"``
+    otherwise (the clean no-numpy fallback — results are identical either
+    way). An explicit ``"array"`` without numpy is an error, not a silent
+    downgrade: the knob exists for A/B measurement, so the caller must
+    learn the arm they asked for cannot run.
+    """
+    if requested not in VEC_KERNELS:
+        raise ValueError(f"vec_kernel must be one of {VEC_KERNELS}, got {requested!r}")
+    if requested == "auto":
+        return "array" if _np is not None else "lane"
+    if requested == "array" and _np is None:
+        raise ValueError("vec_kernel='array' requires numpy (use 'auto' or 'lane')")
+    return requested
+
+
+def make_kernel(requested: str, nlanes: int) -> "LaneKernel | ArrayKernel":
+    """Build the stepping engine for a batch of ``nlanes`` lanes."""
+    kind = resolve_kernel(requested)
+    if kind == "array":
+        return ArrayKernel(nlanes)
+    return LaneKernel()
+
+
+class LaneKernel:
+    """Per-lane stepping: every active lane runs the whole segment through
+    the scalar fused loop. The no-numpy fallback and the ``"lane"`` A/B arm.
+    """
+
+    name = "lane"
+
+    def advance(self, active: Sequence[SteppableLane], stop: int) -> None:
+        """Advance every active lane to cycle ``stop``."""
+        for r in active:
+            sim = r.sim
+            try:
+                sim.run_cycles(stop - sim.cycle)
+            except Exception as exc:
+                raise LaneStepError(r.index, exc) from exc
+
+
+class ArrayKernel:
+    """Array-stepped engine: columnar park/wake control plane over the
+    idle-skipping fused loop (see the module docstring).
+
+    ``pos[i]`` is lane *i*'s current cycle, ``wake[i]`` its parked wake
+    cycle (``-1`` = runnable). Both persist across segments. A lane parked
+    past the segment edge is advanced by pure column arithmetic and one
+    ``advance_idle`` call — it never enters the interpreter cycle loop.
+    """
+
+    name = "array"
+
+    def __init__(self, nlanes: int) -> None:
+        if _np is None:  # pragma: no cover - resolve_kernel guards this
+            raise RuntimeError("ArrayKernel requires numpy")
+        self.pos: Any = _np.zeros(nlanes, dtype=_np.int64)
+        self.wake: Any = _np.full(nlanes, -1, dtype=_np.int64)
+
+    def advance(self, active: Sequence[SteppableLane], stop: int) -> None:
+        """Advance every active lane to cycle ``stop``."""
+        np_ = _np
+        pos = self.pos
+        wake = self.wake
+        idx = np_.fromiter((r.index for r in active), np_.int64, len(active))
+        # The vectorized control-plane step: one clipped minimum across the
+        # batch computes every lane's first jump target for this segment —
+        # parked lanes go to min(wake, stop), runnable lanes stay put.
+        jump_to = np_.minimum(np_.where(wake[idx] >= 0, wake[idx], pos[idx]), stop)
+        for k, r in enumerate(active):
+            i = r.index
+            sim = r.sim
+            cur = int(pos[i])
+            tgt = int(jump_to[k])
+            try:
+                if tgt > cur:
+                    # Parked span (possibly the whole segment): column
+                    # arithmetic + one counter bump, no cycle loop.
+                    sim.advance_idle(tgt - cur)
+                    cur = tgt
+                if cur < stop:
+                    wake[i] = -1  # woke inside the segment: go scalar
+                    sim.run_cycles_skip_idle(stop - cur)
+                    cur = stop
+                    w = sim.quiescent_wake(stop)
+                    if w is not None:
+                        if w <= stop:
+                            raise RuntimeError(
+                                "array kernel invariant broken: wake "
+                                f"{w} not past segment edge {stop}"
+                            )
+                        wake[i] = w
+            except LaneStepError:
+                raise
+            except Exception as exc:
+                raise LaneStepError(i, exc) from exc
+            pos[i] = cur

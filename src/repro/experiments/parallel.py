@@ -282,6 +282,7 @@ def run_pairs(
     sweep: str = "sweep",
     seed: int | None = None,
     backend: str = "process",
+    vec_kernel: str = "auto",
 ) -> list[tuple[str, str, SimResult]]:
     """Run pairs in a process pool; returns (workload, policy, result) in
     the order the pairs were given.
@@ -299,6 +300,9 @@ def run_pairs(
     bit-identical results (perfguard's backend-parity gate pins this),
     much higher throughput on many-pairs/short-run screening sweeps, and
     a serial-path fallback (honoring ``retries``) if the batch aborts.
+    ``vec_kernel`` picks the vec backend's stepping engine (``"auto"`` |
+    ``"array"`` | ``"lane"``, see :mod:`repro.core.vec.kernel`); ignored
+    by the process backend.
 
     When ``manifest`` is given, every completed pair is recorded into it as
     ``source="simulated"`` (with its in-worker seconds and retry count,
@@ -339,7 +343,9 @@ def run_pairs(
     if backend == "vec":
         trace_cache = TraceArtifactCache(trace_cache_dir) if trace_cache_dir else None
         try:
-            batch = VecBatchSimulator(machine, simcfg, pairs, trace_cache=trace_cache)
+            batch = VecBatchSimulator(
+                machine, simcfg, pairs, trace_cache=trace_cache, vec_kernel=vec_kernel
+            )
             batch_results = batch.run()
         except VecLaneError:
             # The batch engine could not finish (one lane poisoned it at
@@ -443,6 +449,7 @@ def prefetch(
     manifest: "RunManifest | None" = None,
     sweep: str = "prefetch",
     backend: str = "process",
+    vec_kernel: str = "auto",
 ) -> int:
     """Fill the runner's caches for ``pairs`` using worker processes.
 
@@ -488,6 +495,7 @@ def prefetch(
         sweep=sweep,
         seed=seed,
         backend=backend,
+        vec_kernel=vec_kernel,
     )
     for wl, pol, res in results:
         runner.store_result(wl, pol, res)
@@ -505,6 +513,7 @@ def prefetch_seed_sweep(
     manifest: "RunManifest | None" = None,
     sweep: str = "seeds",
     backend: str = "process",
+    vec_kernel: str = "auto",
 ) -> int:
     """Prefetch ``pairs`` under several trace *seeds* (the ext_seeds sweep).
 
@@ -530,7 +539,14 @@ def prefetch_seed_sweep(
         if runner.trace_cache is not None:
             sub.trace_cache = runner.trace_cache  # share hit/miss accounting
         total += prefetch(
-            sub, pairs, processes, progress, manifest=manifest, sweep=sweep, backend=backend
+            sub,
+            pairs,
+            processes,
+            progress,
+            manifest=manifest,
+            sweep=sweep,
+            backend=backend,
+            vec_kernel=vec_kernel,
         )
         runner.simulations_run += sub.simulations_run
     return total

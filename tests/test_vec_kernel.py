@@ -1,0 +1,258 @@
+"""The array-stepped vec kernel is cycle-exact and falls back cleanly.
+
+``repro.core.vec.kernel`` gives the batch backend two stepping engines: the
+per-lane reference (``LaneKernel``) and the array-stepped engine
+(``ArrayKernel``) whose ``(B,)`` park/wake columns skip proven-quiescent
+spans through ``Simulator.run_cycles_skip_idle``. The contract under test:
+
+- the quiescence primitives (``quiescent_wake`` / ``advance_idle`` /
+  ``run_cycles_skip_idle``) are behavior-identical to plain stepping on
+  both the fused and the staged engine;
+- an array-kernel batch is bit-identical to the fused per-run reference
+  (hypothesis-fuzzed across policies x commit limits x seeds, mirroring
+  the vec-vs-staged sweep in test_vec_batch.py);
+- without numpy, ``vec_kernel="auto"`` degrades to per-lane stepping with
+  identical results, and an explicit ``"array"`` is a loud error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig, baseline
+from repro.core import Simulator, make_policy
+from repro.core.simulator import IDLE_FOREVER
+from repro.core.vec import VecBatchSimulator, run_batch
+from repro.core.vec import batch as vecbatch
+from repro.core.vec import kernel as veckernel
+from repro.core.vec.kernel import make_kernel, resolve_kernel
+from repro.workloads import build_programs, build_single, get_workload
+
+SIX_POLICIES = ("icount", "stall", "flush", "dg", "pdg", "dwarn")
+
+
+def _simcfg(**kw) -> SimulationConfig:
+    base = dict(warmup_cycles=60, measure_cycles=240, trace_length=3_000, seed=424242)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def _fresh_sim(workload: str, policy: str, simcfg: SimulationConfig) -> Simulator:
+    try:
+        programs = build_programs(get_workload(workload), simcfg)
+    except KeyError:
+        programs = build_single(workload, simcfg)
+    return Simulator(baseline(), programs, make_policy(policy), simcfg)
+
+
+# ---------------------------------------------------------------------------
+# quiescence primitives
+# ---------------------------------------------------------------------------
+
+
+def test_skip_idle_matches_plain_stepping_fused():
+    """run_cycles_skip_idle == run_cycles on the fused engine, and it
+    actually skipped something (otherwise this test guards nothing)."""
+    simcfg = _simcfg()
+    for policy in SIX_POLICIES:
+        plain = _fresh_sim("2-MEM", policy, simcfg)
+        plain.run_cycles(simcfg.total_cycles)
+        skip = _fresh_sim("2-MEM", policy, simcfg)
+        skip.run_cycles_skip_idle(simcfg.total_cycles)
+        assert skip.cycle == plain.cycle
+        assert skip.stats.cycles == plain.stats.cycles
+        assert list(skip.stats.committed) == list(plain.stats.committed)
+        assert list(skip.stats.gated_cycles) == list(plain.stats.gated_cycles)
+        assert skip.result() == plain.result(), policy
+    assert skip.idle_cycles_skipped > 0
+    assert plain.idle_cycles_skipped == 0
+
+
+def test_skip_idle_matches_plain_stepping_staged():
+    """The staged fallback of run_cycles_skip_idle (any stage override
+    refuses the fused loop) honors the same contract."""
+    simcfg = _simcfg()
+    plain = _fresh_sim("2-MEM", "dwarn", simcfg)
+    plain._step = plain._step
+    assert not plain._fast_eligible()
+    plain.run_cycles(simcfg.total_cycles)
+    skip = _fresh_sim("2-MEM", "dwarn", simcfg)
+    skip._step = skip._step
+    skip.run_cycles_skip_idle(simcfg.total_cycles)
+    assert skip.result() == plain.result()
+    assert skip.idle_cycles_skipped > 0
+
+
+def test_quiescent_wake_is_read_only_and_consistent():
+    """Calling the predicate must not perturb the run, and on a quiescent
+    cycle the wake must be strictly in the future."""
+    simcfg = _simcfg()
+    probed = _fresh_sim("2-MEM", "icount", simcfg)
+    wakes = []
+    for _ in range(simcfg.total_cycles):
+        wakes.append(probed.quiescent_wake())
+        probed.run_cycles(1)
+    clean = _fresh_sim("2-MEM", "icount", simcfg)
+    clean.run_cycles(simcfg.total_cycles)
+    assert probed.result() == clean.result()
+    assert any(w is None for w in wakes)  # busy cycles exist
+    quiet = [(c, w) for c, w in enumerate(wakes) if w is not None]
+    assert quiet  # idle cycles exist at this shape
+    assert all(w > c for c, w in quiet)
+
+
+def test_advance_idle_counts_cycles():
+    simcfg = _simcfg()
+    sim = _fresh_sim("2-MEM", "icount", simcfg)
+    before = (sim.cycle, sim.stats.cycles)
+    sim.advance_idle(0)
+    assert (sim.cycle, sim.stats.cycles) == before
+    sim.advance_idle(7)
+    assert sim.cycle == before[0] + 7
+    assert sim.stats.cycles == before[1] + 7
+    assert sim.idle_cycles_skipped == 7
+
+
+def test_idle_forever_sentinel_is_far_future():
+    assert IDLE_FOREVER > 10**15
+
+
+# ---------------------------------------------------------------------------
+# kernel selection and fallback
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_kernel_names():
+    assert resolve_kernel("lane") == "lane"
+    with pytest.raises(ValueError):
+        resolve_kernel("bogus")
+    if veckernel.HAVE_NUMPY:
+        assert resolve_kernel("auto") == "array"
+        assert resolve_kernel("array") == "array"
+        assert make_kernel("auto", 3).name == "array"
+    assert make_kernel("lane", 3).name == "lane"
+
+
+def test_resolve_kernel_without_numpy(monkeypatch):
+    monkeypatch.setattr(veckernel, "_np", None)
+    assert resolve_kernel("auto") == "lane"
+    assert resolve_kernel("lane") == "lane"
+    with pytest.raises(ValueError):
+        resolve_kernel("array")
+
+
+def test_batch_rejects_unknown_kernel():
+    with pytest.raises(ValueError):
+        VecBatchSimulator(baseline(), _simcfg(), [("2-MEM", "icount")], vec_kernel="bogus")
+
+
+def test_no_numpy_auto_falls_back_to_lane_with_identical_results(monkeypatch):
+    """The explicit no-numpy leg: auto degrades to per-lane stepping, same
+    results bit-for-bit; asking for the array kernel is a loud error."""
+    simcfg = _simcfg(commit_limit=120)
+    lanes = [("2-MEM", "icount"), ("2-MEM", "dwarn"), ("4-MIX", "pdg")]
+    with_np = run_batch(baseline(), simcfg, lanes, vec_kernel="auto")
+    monkeypatch.setattr(vecbatch, "_np", None)
+    monkeypatch.setattr(veckernel, "_np", None)
+    batch = VecBatchSimulator(baseline(), simcfg, lanes, vec_kernel="auto")
+    without_np = batch.run()
+    assert batch.kernel_used == "lane"
+    assert batch.idle_cycles_skipped == 0
+    assert with_np == without_np
+    with pytest.raises(ValueError):
+        VecBatchSimulator(baseline(), simcfg, lanes, vec_kernel="array").run()
+
+
+@pytest.mark.skipif(not veckernel.HAVE_NUMPY, reason="array kernel needs numpy")
+def test_array_and_lane_kernels_agree_and_report():
+    simcfg = _simcfg()
+    lanes = [("4-MIX", pol) for pol in SIX_POLICIES]
+    arr = VecBatchSimulator(baseline(), simcfg, lanes, vec_kernel="array")
+    arr_results = arr.run()
+    lane = VecBatchSimulator(baseline(), simcfg, lanes, vec_kernel="lane")
+    lane_results = lane.run()
+    assert arr.kernel_used == "array"
+    assert lane.kernel_used == "lane"
+    assert arr_results == lane_results
+    assert arr.idle_cycles_skipped > 0
+    assert lane.idle_cycles_skipped == 0
+
+
+# ---------------------------------------------------------------------------
+# pure-Python fallback of the batch accessors (satellite: previously only
+# exercised indirectly)
+# ---------------------------------------------------------------------------
+
+
+def test_ipc_matrix_and_throughputs_pure_python_fallback(monkeypatch):
+    simcfg = _simcfg()
+    lanes = [("2-MEM", "icount"), ("4-MIX", "dwarn")]
+    batch = VecBatchSimulator(baseline(), simcfg, lanes)
+    results = batch.run()
+    numpy_mat = [list(row) for row in batch.ipc_matrix()]
+    numpy_thr = list(batch.throughputs())
+    monkeypatch.setattr(vecbatch, "_np", None)
+    mat = batch.ipc_matrix()
+    thr = batch.throughputs()
+    assert isinstance(mat, list) and isinstance(mat[0], list)
+    assert isinstance(thr, list)
+    assert len(mat) == len(lanes) and len(mat[0]) == 4
+    assert mat[0][:2] == list(results[0].ipc)
+    assert all(x != x for x in mat[0][2:])  # NaN padding on the 2-thread lane
+    assert mat[1] == list(results[1].ipc)
+    assert thr == [res.throughput for res in results]
+    # Same numbers either control plane (NaN-aware compare on the padding).
+    for np_row, py_row in zip(numpy_mat, mat):
+        for a, b in zip(np_row, py_row):
+            assert (a != a and b != b) or a == b
+    assert numpy_thr == thr
+
+
+def test_accessors_require_run_first():
+    batch = VecBatchSimulator(baseline(), _simcfg(), [("2-MEM", "icount")])
+    with pytest.raises(RuntimeError):
+        batch.ipc_matrix()
+    with pytest.raises(RuntimeError):
+        batch.throughputs()
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: array-kernel batch vs the *fused* reference engine
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+
+@pytest.mark.skipif(not veckernel.HAVE_NUMPY, reason="array kernel needs numpy")
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    workload=st.sampled_from(["2-ILP", "2-MEM", "2-MIX", "4-MIX"]),
+    policies=st.lists(st.sampled_from(SIX_POLICIES), min_size=2, max_size=4),
+    seed=st.integers(min_value=0, max_value=2**20),
+    warmup=st.sampled_from([0, 50]),
+    cycles=st.integers(min_value=60, max_value=300),
+    limit=st.sampled_from([0, 150]),
+)
+def test_array_kernel_matches_fused_reference(
+    workload, policies, seed, warmup, cycles, limit
+):
+    """Randomized short runs: every array-stepped lane must equal the fused
+    per-run engine run alone — crossing the park/wake columns, warm-up
+    boundaries, commit-limit checkpoints, and the in-loop idle jumps."""
+    simcfg = SimulationConfig(
+        warmup_cycles=warmup,
+        measure_cycles=cycles,
+        trace_length=3_000,
+        seed=seed,
+        commit_limit=limit,
+    )
+    lanes = [(workload, pol) for pol in policies]
+    results = run_batch(baseline(), simcfg, lanes, vec_kernel="array")
+    for (wl, pol), got in zip(lanes, results):
+        sim = _fresh_sim(wl, pol, simcfg)
+        assert got == sim.run(), f"{wl}/{pol} diverged"
