@@ -12,6 +12,8 @@ Subcommands::
     dwarn-sim cache clear                      # wipe both caches
     dwarn-sim serve --port 8177                # simulation-as-a-service daemon
     dwarn-sim worker --server URL -j 2         # distributed worker for a daemon
+    dwarn-sim route --shards 4                 # sharding router over 4 daemons
+    dwarn-sim loadtest --jobs 2000             # load harness -> BENCH_service.json
     dwarn-sim version                          # package + on-disk schema versions
     dwarn-sim list                             # workloads/policies/machines
 
@@ -302,6 +304,133 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after executing N leases (default: run forever)",
     )
 
+    p_rt = sub.add_parser(
+        "route",
+        help="run the sharding router over N service daemons (docs/SCALING.md)",
+    )
+    p_rt.add_argument("--host", default="127.0.0.1")
+    p_rt.add_argument(
+        "--port", type=int, default=8178,
+        help="listen port (0 = ephemeral; pair with --port-file)",
+    )
+    p_rt.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here once listening (for scripts/CI)",
+    )
+    p_rt.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="boot and supervise N shard daemons (default: 2)",
+    )
+    p_rt.add_argument(
+        "--shard", action="append", default=None, metavar="HOST:PORT",
+        help="front an externally managed shard (repeatable; overrides --shards)",
+    )
+    p_rt.add_argument(
+        "--state-dir", default=".cache/router", metavar="DIR",
+        help="state root for supervised shards (per-shard stores/caches)",
+    )
+    p_rt.add_argument(
+        "--rate", type=float, default=0.0, metavar="TOKENS/S",
+        help="per-client admission rate (0 = unlimited, the default)",
+    )
+    p_rt.add_argument(
+        "--burst", type=float, default=30.0,
+        help="per-client token-bucket capacity (default: 30)",
+    )
+    p_rt.add_argument(
+        "--cooldown", type=float, default=2.0, metavar="SECS",
+        help="how long a dead shard's key range answers 503 (default: 2)",
+    )
+    p_rt.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="queue capacity per supervised shard (default: 64)",
+    )
+    p_rt.add_argument(
+        "--batch-max", type=int, default=8,
+        help="batch size per supervised shard (default: 8)",
+    )
+    p_rt.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes per supervised shard batch (default: 1)",
+    )
+    p_rt.add_argument(
+        "--backend", choices=("process", "vec"), default="process",
+        help="batch engine for supervised shards",
+    )
+    p_rt.add_argument(
+        "--vec-kernel", choices=("auto", "array", "lane"), default="auto",
+        help="vec-backend stepping engine for supervised shards",
+    )
+    p_rt.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="SECS",
+        help="heartbeat deadline per worker lease on supervised shards",
+    )
+
+    p_lt = sub.add_parser(
+        "loadtest",
+        help="drive concurrent clients through a sharded router; "
+        "emit BENCH_service.json (docs/SCALING.md)",
+    )
+    p_lt.add_argument(
+        "--router", default=None, metavar="URL",
+        help="existing router address (default: boot shards + router locally)",
+    )
+    p_lt.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="shards to boot when no --router is given (default: 2)",
+    )
+    p_lt.add_argument(
+        "--clients", type=int, default=32, metavar="N",
+        help="concurrent submitting clients (default: 32)",
+    )
+    p_lt.add_argument(
+        "--stream-clients", type=int, default=2, metavar="N",
+        help="of those, clients using /v1/stream sweeps (default: 2)",
+    )
+    p_lt.add_argument(
+        "--jobs", type=int, default=1000, metavar="N",
+        help="total job submissions across all clients (default: 1000)",
+    )
+    p_lt.add_argument(
+        "--unique", type=int, default=24, metavar="N",
+        help="unique spec pool size (mixed-duplicate traffic; default: 24)",
+    )
+    p_lt.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="queue capacity per booted shard (default: 256)",
+    )
+    p_lt.add_argument(
+        "--rolling-restart", action="store_true",
+        help="SIGTERM + relaunch each shard in sequence mid-run",
+    )
+    p_lt.add_argument(
+        "--warmup", type=int, default=200, metavar="CYCLES",
+        help="warmup cycles per job (default: 200 — load-test scale)",
+    )
+    p_lt.add_argument(
+        "--cycles", type=int, default=1200, metavar="CYCLES",
+        help="measured cycles per job (default: 1200 — load-test scale)",
+    )
+    p_lt.add_argument(
+        "--trace-length", type=int, default=6000,
+        help="instructions per generated trace (default: 6000)",
+    )
+    p_lt.add_argument(
+        "--out", default="BENCH_service.json", metavar="PATH",
+        help="benchmark report path (default: BENCH_service.json)",
+    )
+    p_lt.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="state root for booted shards (default: a temp dir)",
+    )
+    p_lt.add_argument(
+        "--min-jobs-per-min", type=float, default=None, metavar="N",
+        help="exit non-zero unless sustained throughput reaches N jobs/min",
+    )
+    p_lt.add_argument(
+        "--seed", type=int, default=0, help="traffic-shape RNG seed",
+    )
+
     sub.add_parser(
         "version", help="package version plus on-disk/wire schema versions"
     )
@@ -445,6 +574,7 @@ def _version_command() -> int:
     import repro
     from repro.experiments.runner import CACHE_VERSION
     from repro.service.protocol import PROTOCOL_VERSION
+    from repro.service.router import ROUTER_VERSION
     from repro.service.store import STORE_VERSION
     from repro.trace.artifact import schema_info
 
@@ -456,6 +586,7 @@ def _version_command() -> int:
     )
     print(f"  result-cache schema:   v{CACHE_VERSION}")
     print(f"  service protocol:      v{PROTOCOL_VERSION}")
+    print(f"  router schema:         v{ROUTER_VERSION}")
     print(f"  result-store schema:   v{STORE_VERSION}")
     return 0
 
@@ -509,6 +640,57 @@ def _worker_command(args: argparse.Namespace) -> int:
     return run_worker(cfg)
 
 
+def _route_command(args: argparse.Namespace) -> int:
+    """``dwarn-sim route``: run the sharding router (blocking)."""
+    from repro.service.router import RouterConfig, run_router
+
+    shard_args = [
+        "--queue-capacity", str(args.queue_capacity),
+        "--batch-max", str(args.batch_max),
+        "--processes", str(args.processes),
+        "--backend", args.backend,
+        "--vec-kernel", args.vec_kernel,
+        "--lease-ttl", str(args.lease_ttl),
+    ]
+    cfg = RouterConfig(
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        shard_urls=list(args.shard or []),
+        shards=args.shards,
+        state_dir=args.state_dir,
+        rate=args.rate,
+        burst=args.burst,
+        cooldown=args.cooldown,
+        shard_args=shard_args,
+    )
+    return run_router(cfg)
+
+
+def _loadtest_command(args: argparse.Namespace) -> int:
+    """``dwarn-sim loadtest``: replay harness over a sharded router."""
+    from repro.service.loadtest import LoadTestConfig, run_loadtest
+
+    cfg = LoadTestConfig(
+        router_url=args.router,
+        shards=args.shards,
+        clients=args.clients,
+        stream_clients=args.stream_clients,
+        jobs=args.jobs,
+        unique=args.unique,
+        queue_capacity=args.queue_capacity,
+        rolling_restart=args.rolling_restart,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        trace_length=args.trace_length,
+        out=args.out,
+        state_dir=args.state_dir,
+        min_jobs_per_min=args.min_jobs_per_min,
+        seed=args.seed,
+    )
+    return run_loadtest(cfg)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -521,6 +703,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "worker":
         return _worker_command(args)
+
+    if args.command == "route":
+        return _route_command(args)
+
+    if args.command == "loadtest":
+        return _loadtest_command(args)
 
     simcfg = _simcfg(args)
 

@@ -74,17 +74,27 @@ class RunManifest:
 
     # -- summaries -------------------------------------------------------
 
-    def latency_percentiles(self, qs: tuple[float, ...] = (50.0, 95.0)) -> dict[str, float]:
+    def latency_percentiles(
+        self,
+        qs: tuple[float, ...] = (50.0, 95.0),
+        sweep: str | None = None,
+    ) -> dict[str, float]:
         """Percentiles of per-pair seconds, e.g. ``{"p50": ..., "p95": ...}``.
 
         Covers every recorded pair regardless of source (cache hits report
         their near-zero serve time, which is the honest job-latency
         distribution a service client experiences). Empty manifests report
         zeros. The service's ``/metrics`` endpoint exposes these directly.
+
+        ``sweep`` restricts the sample to pairs recorded under that sweep
+        label — the load-test harness tags each request's record with the
+        serving shard's name, so per-shard latency splits fall out of one
+        manifest (``BENCH_service.json`` reports them alongside the fleet
+        aggregate).
         """
         from repro.utils.mathx import percentile
 
-        secs = [p.secs for p in self.pairs]
+        secs = [p.secs for p in self.pairs if sweep is None or p.sweep == sweep]
         return {f"p{q:g}": round(percentile(secs, q), 6) for q in qs}
 
     def summary(self) -> dict:

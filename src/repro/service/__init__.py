@@ -30,6 +30,15 @@ needs a long-lived process instead. ``dwarn-sim serve`` starts one:
   ``POST /v1/leases``, executes them through the same sweep engine and
   trace-artifact cache, and uploads results — heartbeat deadlines, bounded
   redelivery and a dead-letter state make the fleet safe to SIGKILL.
+- **Router** (:mod:`repro.service.router`): ``dwarn-sim route`` scales the
+  control plane past one daemon — consistent-hashing canonical job keys
+  across N shards (dedup stays intact per shard), per-client token-bucket
+  admission control, chunked result streaming relayed shard-by-shard, and
+  per-key-range 503 degradation when a shard dies. See docs/SCALING.md.
+- **Load harness** (:mod:`repro.service.loadtest`): ``dwarn-sim loadtest``
+  replays thousands of concurrent mixed-duplicate clients through a router
+  and emits ``BENCH_service.json`` (p50/p95 latency, jobs/min, dedup and
+  exactly-once accounting).
 
 Quickstart::
 
@@ -55,7 +64,20 @@ from repro.service.protocol import (
     LeaseRequest,
     SpecError,
 )
-from repro.service.queue import DEFAULT_RETRY_AFTER, JobQueue, QueueFull
+from repro.service.queue import (
+    DEFAULT_RETRY_AFTER,
+    JobQueue,
+    QueueFull,
+    RateLimited,
+    TokenBucket,
+)
+from repro.service.router import (
+    ROUTER_VERSION,
+    HashRing,
+    RouterConfig,
+    SimulationRouter,
+    run_router,
+)
 from repro.service.server import ServiceConfig, SimulationService, run_service
 from repro.service.store import STORE_VERSION, ResultStore
 from repro.service.worker import Worker, WorkerConfig, parse_server, run_worker
@@ -63,7 +85,9 @@ from repro.service.worker import Worker, WorkerConfig, parse_server, run_worker
 __all__ = [
     "DEFAULT_RETRY_AFTER",
     "PROTOCOL_VERSION",
+    "ROUTER_VERSION",
     "STORE_VERSION",
+    "HashRing",
     "Job",
     "JobQueue",
     "JobResult",
@@ -72,15 +96,20 @@ __all__ = [
     "Lease",
     "LeaseRequest",
     "QueueFull",
+    "RateLimited",
     "ResultStore",
+    "RouterConfig",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "SimulationRouter",
     "SimulationService",
     "SpecError",
+    "TokenBucket",
     "Worker",
     "WorkerConfig",
     "parse_server",
+    "run_router",
     "run_service",
     "run_worker",
 ]

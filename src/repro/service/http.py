@@ -1,0 +1,330 @@
+"""Shared asyncio HTTP/1.1 plumbing for the service daemon and the router.
+
+One hand-rolled HTTP substrate, two processes built on it: the shard daemon
+(:mod:`repro.service.server`) and the sharding router
+(:mod:`repro.service.router`). Both speak the same dialect — request line +
+headers + ``Content-Length`` body in, JSON out, ``Connection: close`` — so
+the parsing, response framing, chunked-streaming helpers and the router's
+*client*-side primitives (async JSON fetch, chunked-line relay) live here
+once instead of twice.
+
+Server side:
+
+- :func:`read_request` parses one request off a stream reader (returns
+  ``None`` for non-HTTP noise, raises :class:`PayloadTooLarge` for
+  oversized bodies — the caller answers 413).
+- :func:`json_response` frames a complete JSON reply.
+- :func:`start_chunked` / :func:`write_chunk` / :func:`end_chunked`
+  implement ``Transfer-Encoding: chunked`` NDJSON streaming, one JSON
+  object per chunk, which is what ``POST /v1/stream`` responses use.
+
+Client side (asyncio — the router talking to its shards; the blocking
+``repro.service.client`` keeps its stdlib ``http.client`` transport):
+
+- :func:`fetch_json` performs one request/response round trip.
+- :func:`open_json_stream` opens a request and yields the response's
+  NDJSON lines incrementally, de-chunking as it reads — the primitive the
+  router uses to relay shard streams to its own chunked response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "READ_TIMEOUT",
+    "REASONS",
+    "PayloadTooLarge",
+    "Request",
+    "end_chunked",
+    "fetch_json",
+    "json_response",
+    "open_json_stream",
+    "read_request",
+    "start_chunked",
+    "write_chunk",
+]
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Largest request body accepted by default (a job spec is <1 KB; a stream
+#: request is a few hundred specs at most — anything bigger is not ours).
+MAX_BODY_BYTES = 512 * 1024
+
+#: Per-connection read timeout: a stalled peer cannot pin a handler task.
+READ_TIMEOUT = 30.0
+
+
+class PayloadTooLarge(ValueError):
+    """Request body exceeded the caller's limit; answer 413."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (the subset a JSON API needs)."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """Decode the body as JSON (``{}`` when empty); raises ValueError."""
+        return json.loads(self.body.decode("utf-8") or "{}")
+
+
+# ----------------------------------------------------------------------
+# Server side
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    timeout: float = READ_TIMEOUT,
+    max_body: int = MAX_BODY_BYTES,
+) -> Request | None:
+    """Parse one request off ``reader``; ``None`` means drop the connection.
+
+    Raises :class:`PayloadTooLarge` when ``Content-Length`` exceeds
+    ``max_body`` (the caller should answer 413 — the client *did* speak
+    HTTP). Timeouts, truncated requests and undecodable bytes return
+    ``None``: not HTTP, nothing to answer.
+    """
+    try:
+        request = await asyncio.wait_for(reader.readline(), timeout)
+        parts = request.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > max_body:
+            raise PayloadTooLarge(f"request body of {length} bytes exceeds {max_body}")
+        body = (
+            await asyncio.wait_for(reader.readexactly(length), timeout)
+            if length
+            else b""
+        )
+    except (asyncio.TimeoutError, asyncio.IncompleteReadError, UnicodeDecodeError):
+        return None
+    except ValueError as exc:
+        if isinstance(exc, PayloadTooLarge):
+            raise
+        return None  # unparsable Content-Length
+    return Request(method, path, headers, body)
+
+
+def _head(status: int, headers: dict[str, str]) -> bytes:
+    lines = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}"]
+    lines.extend(f"{k}: {v}" for k, v in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(
+    status: int, payload: Any, extra: dict[str, str] | None = None
+) -> bytes:
+    """Frame a complete JSON response (status line, headers, body)."""
+    data = (json.dumps(payload) + "\n").encode("utf-8")
+    headers = {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(data)),
+        "Connection": "close",
+    }
+    if extra:
+        headers.update(extra)
+    return _head(status, headers) + data
+
+
+async def start_chunked(
+    writer: asyncio.StreamWriter, status: int = 200, extra: dict[str, str] | None = None
+) -> None:
+    """Begin a chunked NDJSON response (one JSON object per chunk)."""
+    headers = {
+        "Content-Type": "application/x-ndjson",
+        "Transfer-Encoding": "chunked",
+        "Connection": "close",
+    }
+    if extra:
+        headers.update(extra)
+    writer.write(_head(status, headers))
+    await writer.drain()
+
+
+async def write_chunk(writer: asyncio.StreamWriter, obj: Any) -> None:
+    """Send one JSON object as one chunk (newline-terminated line)."""
+    data = (json.dumps(obj) + "\n").encode("utf-8")
+    writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+    await writer.drain()
+
+
+async def end_chunked(writer: asyncio.StreamWriter) -> None:
+    """Send the terminating zero-length chunk."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Client side (asyncio; used by the router to talk to shards)
+
+
+def _request_bytes(
+    method: str, path: str, host: str, body: bytes, headers: dict[str, str] | None
+) -> bytes:
+    head = {
+        "Host": host,
+        "Connection": "close",
+    }
+    if body:
+        head["Content-Type"] = "application/json"
+        head["Content-Length"] = str(len(body))
+    if headers:
+        head.update(headers)
+    lines = [f"{method} {path} HTTP/1.1"]
+    lines.extend(f"{k}: {v}" for k, v in head.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def _read_status_and_headers(
+    reader: asyncio.StreamReader, timeout: float
+) -> tuple[int, dict[str, str]]:
+    status_line = await asyncio.wait_for(reader.readline(), timeout)
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConnectionError(f"malformed status line from shard: {status_line!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def fetch_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Any | None = None,
+    timeout: float = READ_TIMEOUT,
+    headers: dict[str, str] | None = None,
+) -> tuple[int, Any, dict[str, str]]:
+    """One async JSON round trip; returns ``(status, payload, headers)``.
+
+    Raises ``OSError``/``ConnectionError``/``asyncio.TimeoutError`` on
+    transport failure — the router maps those to "shard down".
+    """
+    payload = json.dumps(body).encode("utf-8") if body is not None else b""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        writer.write(_request_bytes(method, path, f"{host}:{port}", payload, headers))
+        await writer.drain()
+        status, resp_headers = await _read_status_and_headers(reader, timeout)
+        length = int(resp_headers.get("content-length", -1))
+        if length >= 0:
+            raw = await asyncio.wait_for(reader.readexactly(length), timeout)
+        else:  # close-delimited
+            raw = await asyncio.wait_for(reader.read(), timeout)
+        try:
+            decoded = json.loads(raw) if raw else None
+        except json.JSONDecodeError:
+            decoded = raw.decode("utf-8", "replace")
+        return status, decoded, resp_headers
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def open_json_stream(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Any | None = None,
+    timeout: float = READ_TIMEOUT,
+    headers: dict[str, str] | None = None,
+) -> tuple[int, dict[str, str], AsyncIterator[Any]]:
+    """Open a streaming request; returns ``(status, headers, line_iter)``.
+
+    ``line_iter`` yields one decoded JSON object per NDJSON line of the
+    response body, de-chunking when the peer sent ``Transfer-Encoding:
+    chunked`` and reading to EOF otherwise. The iterator must be consumed
+    (or the connection garbage-collected) to release the socket. On a
+    non-2xx status the caller typically reads the error payload via the
+    iterator's first line instead.
+    """
+    payload = json.dumps(body).encode("utf-8") if body is not None else b""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        writer.write(_request_bytes(method, path, f"{host}:{port}", payload, headers))
+        await writer.drain()
+        status, resp_headers = await _read_status_and_headers(reader, timeout)
+    except BaseException:
+        writer.close()
+        raise
+
+    chunked = resp_headers.get("transfer-encoding", "").lower() == "chunked"
+
+    async def lines() -> AsyncIterator[Any]:
+        buf = b""
+        try:
+            if chunked:
+                while True:
+                    size_line = await asyncio.wait_for(reader.readline(), timeout)
+                    size = int(size_line.strip() or b"0", 16)
+                    if size == 0:
+                        break
+                    data = await asyncio.wait_for(reader.readexactly(size), timeout)
+                    await asyncio.wait_for(reader.readexactly(2), timeout)  # CRLF
+                    buf += data
+                    while b"\n" in buf:
+                        line, buf = buf.split(b"\n", 1)
+                        if line.strip():
+                            yield json.loads(line)
+            else:
+                while True:
+                    line = await asyncio.wait_for(reader.readline(), timeout)
+                    if not line:
+                        break
+                    if line.strip():
+                        yield json.loads(line)
+            if buf.strip():
+                yield json.loads(buf)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return status, resp_headers, lines()

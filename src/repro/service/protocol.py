@@ -34,6 +34,7 @@ from repro.core import SimResult
 from repro.utils.rng import stable_hash64
 
 __all__ = [
+    "MAX_STREAM_JOBS",
     "PROTOCOL_VERSION",
     "Job",
     "JobResult",
@@ -43,6 +44,7 @@ __all__ = [
     "LeaseRequest",
     "SpecError",
     "parse_result_upload",
+    "parse_stream_request",
     "result_from_payload",
     "result_payload",
 ]
@@ -60,6 +62,10 @@ MAX_TRACE_LENGTH = 2_000_000
 #: worker ids are short printable names, not payloads.
 MAX_LEASE_JOBS = 64
 MAX_WORKER_ID_LEN = 120
+
+#: Bound on one ``POST /v1/stream`` request: a stream is a sweep, not a
+#: bulk-import channel; bigger sweeps open several streams.
+MAX_STREAM_JOBS = 256
 
 
 class SpecError(ValueError):
@@ -387,6 +393,35 @@ def parse_result_upload(data: Any) -> list[JobResult]:
             )
         )
     return out
+
+
+def parse_stream_request(data: Any) -> list[Mapping[str, Any]]:
+    """Validate a ``POST /v1/stream`` body shape into a list of spec dicts.
+
+    The shape is ``{"jobs": [{<job spec fields>, "priority"?}, ...]}``.
+    Only the *envelope* is validated here (a JSON object carrying a
+    non-empty, bounded list of objects); each entry is then validated by
+    the server exactly as a ``POST /v1/jobs`` body would be, so the two
+    endpoints cannot drift apart on what a spec means. Malformed envelopes
+    raise :class:`SpecError` — the HTTP layer answers 400 before any
+    chunked output starts.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"stream request must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"jobs"})
+    if unknown:
+        raise SpecError(f"unknown stream-request field(s): {', '.join(unknown)}")
+    entries = data.get("jobs")
+    if not isinstance(entries, list) or not entries:
+        raise SpecError("stream request must carry a non-empty 'jobs' list")
+    if len(entries) > MAX_STREAM_JOBS:
+        raise SpecError(f"stream request larger than {MAX_STREAM_JOBS} jobs")
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise SpecError(f"jobs[{i}] must be a JSON object")
+    return entries
 
 
 # ----------------------------------------------------------------------

@@ -19,8 +19,14 @@ policies the HTTP layer surfaces directly:
   persistent trace-artifact cache — so a workload appearing in several jobs
   of a batch generates its traces exactly once.
 
-Pure in-memory data structure, asyncio-agnostic and lock-free by design:
-the server calls it only from the event-loop thread. Waiting for work is
+This module also hosts the *other* admission-control primitive,
+:class:`TokenBucket` — per-client rate limiting, which the sharding router
+(:mod:`repro.service.router`) applies before any shard sees a request. A
+full bucket rejection raises :class:`RateLimited`, the 429-with-budget-
+headers sibling of :class:`QueueFull`.
+
+Pure in-memory data structures, asyncio-agnostic and lock-free by design:
+the server calls them only from the event-loop thread. Waiting for work is
 the caller's job (the server keeps an ``asyncio.Event``); this module never
 blocks.
 """
@@ -30,10 +36,17 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 
 from repro.service.protocol import Job, JobState
 
-__all__ = ["DEFAULT_RETRY_AFTER", "JobQueue", "QueueFull"]
+__all__ = [
+    "DEFAULT_RETRY_AFTER",
+    "JobQueue",
+    "QueueFull",
+    "RateLimited",
+    "TokenBucket",
+]
 
 #: Floor (and no-signal default) for the 429 ``Retry-After`` hint, seconds.
 #: The server derives the hint from the observed median job latency, but
@@ -58,6 +71,81 @@ class QueueFull(RuntimeError):
         if not math.isfinite(retry_after) or retry_after < DEFAULT_RETRY_AFTER:
             retry_after = DEFAULT_RETRY_AFTER
         self.retry_after = retry_after
+
+
+class RateLimited(RuntimeError):
+    """A client's token bucket is empty; ``retry_after`` is the time (s)
+    until the requested number of tokens will have accrued."""
+
+    def __init__(self, client: str, retry_after: float, remaining: float) -> None:
+        super().__init__(f"client {client!r} rate limited (retry in {retry_after:.2f}s)")
+        self.client = client
+        self.retry_after = max(0.0, retry_after)
+        self.remaining = remaining
+
+
+class TokenBucket:
+    """Per-client token buckets: ``rate`` tokens/second, ``burst`` capacity.
+
+    Every client id starts with a full bucket and refills continuously.
+    :meth:`acquire` is non-blocking: it either debits and returns, or
+    raises :class:`RateLimited` carrying a precise retry hint — the router
+    turns that into ``429`` plus ``X-RateLimit-*``/``Retry-After`` headers.
+    A ``rate`` of 0 disables limiting entirely (every acquire succeeds),
+    which is the default posture for a single-tenant deployment.
+
+    One request costs one token; a stream request costs one token *per
+    spec*, capped at ``burst`` so a sweep wider than the bucket is charged
+    a full bucket rather than being unadmittable forever.
+
+    The clock is injectable for tests; the bucket table self-prunes (a
+    client back at full capacity carries no state worth keeping).
+    """
+
+    #: Bucket table size that triggers a prune of full (stateless) buckets.
+    PRUNE_AT = 4096
+
+    def __init__(self, rate: float, burst: float = 30.0, clock=time.monotonic) -> None:
+        if burst <= 0:
+            raise ValueError("token bucket burst must be > 0")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        #: client id -> (tokens at ``stamp``, stamp).
+        self._buckets: dict[str, tuple[float, float]] = {}
+
+    def remaining(self, client: str) -> float:
+        """Current token balance for a client (full burst if unknown)."""
+        if self.rate <= 0:
+            return self.burst
+        now = self._clock()
+        level, stamp = self._buckets.get(client, (self.burst, now))
+        return min(self.burst, level + (now - stamp) * self.rate)
+
+    def acquire(self, client: str, tokens: float = 1.0) -> None:
+        """Debit ``tokens`` from the client's bucket or raise
+        :class:`RateLimited`. No-op when limiting is disabled."""
+        if self.rate <= 0:
+            return
+        tokens = min(float(tokens), self.burst)
+        now = self._clock()
+        level, stamp = self._buckets.get(client, (self.burst, now))
+        level = min(self.burst, level + (now - stamp) * self.rate)
+        if level + 1e-9 >= tokens:
+            self._buckets[client] = (level - tokens, now)
+            self._maybe_prune(now)
+            return
+        self._buckets[client] = (level, now)
+        raise RateLimited(client, (tokens - level) / self.rate, level)
+
+    def _maybe_prune(self, now: float) -> None:
+        if len(self._buckets) < self.PRUNE_AT:
+            return
+        self._buckets = {
+            client: (level, stamp)
+            for client, (level, stamp) in self._buckets.items()
+            if level + (now - stamp) * self.rate < self.burst
+        }
 
 
 class JobQueue:

@@ -43,10 +43,25 @@ spec complete exactly once. While any worker has been seen within
 fleet; with no workers registered the daemon executes locally exactly as
 before, so single-machine behaviour is unchanged.
 
+Long sweeps can hold one connection instead of polling::
+
+    POST /v1/stream                    chunked NDJSON: one line per job
+
+The stream endpoint accepts a list of specs, admits them through the same
+three dedup tiers, and writes each job's outcome as a JSON line the moment
+it turns terminal. Admission is *paced*: specs that meet a full queue wait
+inside the handler and are re-admitted as slots free, so a sweep larger
+than the queue capacity streams to completion without the client ever
+seeing a 429. (``repro.service.client.ServiceClient.stream`` is the
+matching iterator.)
+
 Shutdown (SIGTERM/SIGINT) is a drain, not an abort: the listener closes,
 queued-but-unstarted jobs are cancelled, the in-flight batch runs to
 completion and is persisted, then the store is compacted and the process
 exits 0 — the behaviour the e2e test pins.
+
+The HTTP substrate (request parsing, response framing, chunked streaming)
+is shared with the sharding router: :mod:`repro.service.http`.
 
 Observability: the daemon keeps two ``repro.obs.RunManifest``s — one
 recording a pair per *completed job* (submit-to-finish latency by source;
@@ -72,6 +87,17 @@ from repro.core import POLICIES, SimResult
 from repro.experiments.parallel import SweepCostModel, run_pairs
 from repro.experiments.runner import CACHE_VERSION, ExperimentRunner
 from repro.obs.manifest import RunManifest
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    READ_TIMEOUT,
+    PayloadTooLarge,
+    Request,
+    end_chunked,
+    json_response,
+    read_request,
+    start_chunked,
+    write_chunk,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Job,
@@ -81,6 +107,7 @@ from repro.service.protocol import (
     LeaseRequest,
     SpecError,
     parse_result_upload,
+    parse_stream_request,
     result_from_payload,
     result_payload,
 )
@@ -90,27 +117,51 @@ from repro.trace import PROFILES
 from repro.trace.artifact import schema_info
 from repro.workloads import WORKLOADS
 
-__all__ = ["ServiceConfig", "SimulationService", "result_payload", "run_service"]
+__all__ = [
+    "ServiceConfig",
+    "SimulationService",
+    "result_payload",
+    "run_service",
+    "validate_spec",
+]
 
-_REASONS = {
-    200: "OK",
-    202: "Accepted",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    409: "Conflict",
-    410: "Gone",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-}
+#: How often a live stream handler re-checks its jobs and retries paced
+#: admissions (seconds). Small enough to feel immediate at test scale,
+#: large enough to stay invisible next to real simulation latencies.
+STREAM_POLL = 0.05
 
-#: Largest request body accepted (a job spec is <1 KB; anything bigger is
-#: not a spec).
-MAX_BODY_BYTES = 64 * 1024
 
-#: Per-connection read timeout: a stalled client cannot pin a handler task.
-READ_TIMEOUT = 30.0
+def validate_spec(data: Any) -> tuple[JobSpec, int] | tuple[int, dict[str, Any]]:
+    """Parse one submitted spec dict into ``(spec, priority)``, or an HTTP
+    ``(status, payload)`` error pair.
+
+    Shared by the daemon's submit and stream handlers *and* by the sharding
+    router (:mod:`repro.service.router`), which must canonicalize a spec —
+    and reject a bad one with byte-identical errors — before it can even
+    pick the owning shard.
+    """
+    if not isinstance(data, dict):
+        return 400, {"error": "job spec must be a JSON object"}
+    data = dict(data)
+    priority = data.pop("priority", 0)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        return 400, {"error": "priority must be an integer"}
+    try:
+        spec = JobSpec.from_dict(data)
+    except SpecError as exc:
+        return 400, {"error": str(exc)}
+    if spec.workload not in WORKLOADS and spec.workload not in PROFILES:
+        return 400, {
+            "error": f"unknown workload {spec.workload!r}",
+            "workloads": sorted(WORKLOADS),
+            "benchmarks": sorted(PROFILES),
+        }
+    if spec.policy not in POLICIES:
+        return 400, {
+            "error": f"unknown policy {spec.policy!r}",
+            "policies": sorted(POLICIES),
+        }
+    return spec, priority
 
 
 @dataclass
@@ -175,6 +226,8 @@ class SimulationService:
             "redelivered": 0,
             "dead_letter": 0,
             "worker_results": 0,
+            "streams": 0,
+            "streamed_jobs": 0,
         }
         self.started_at = time.time()
         self.port: int | None = None
@@ -408,41 +461,23 @@ class SimulationService:
         status, payload, extra = 500, {"error": "internal error"}, {}
         try:
             try:
-                request = await asyncio.wait_for(reader.readline(), READ_TIMEOUT)
-                parts = request.decode("latin-1").split()
-                if len(parts) < 2:
+                request = await read_request(
+                    reader, timeout=READ_TIMEOUT, max_body=MAX_BODY_BYTES
+                )
+                if request is None:
                     return  # not HTTP; drop silently
-                method, path = parts[0].upper(), parts[1]
-                headers: dict[str, str] = {}
-                while True:
-                    line = await asyncio.wait_for(reader.readline(), READ_TIMEOUT)
-                    if line in (b"\r\n", b"\n", b""):
-                        break
-                    name, _, value = line.decode("latin-1").partition(":")
-                    headers[name.strip().lower()] = value.strip()
-                length = int(headers.get("content-length", 0) or 0)
-                if length > MAX_BODY_BYTES:
-                    status, payload = 413, {"error": "request body too large"}
-                else:
-                    body = (
-                        await asyncio.wait_for(reader.readexactly(length), READ_TIMEOUT)
-                        if length
-                        else b""
-                    )
-                    status, payload, extra = self._route(method, path, body)
-            except (asyncio.TimeoutError, asyncio.IncompleteReadError, UnicodeDecodeError):
-                return
+                if request.method == "POST" and request.path.rstrip("/") == "/v1/stream":
+                    # Streaming replies write their own (chunked) framing.
+                    await self._stream(request, writer)
+                    return
+                status, payload, extra = self._route(
+                    request.method, request.path, request.body
+                )
+            except PayloadTooLarge:
+                status, payload, extra = 413, {"error": "request body too large"}, {}
             except Exception as exc:  # route bug: report, don't kill the server
                 status, payload, extra = 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
-            data = (json.dumps(payload) + "\n").encode("utf-8")
-            head = [
-                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                "Content-Type: application/json",
-                f"Content-Length: {len(data)}",
-                "Connection: close",
-            ]
-            head.extend(f"{k}: {v}" for k, v in extra.items())
-            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + data)
+            writer.write(json_response(status, payload, extra))
             await writer.drain()
         except (ConnectionError, BrokenPipeError):  # client went away mid-reply
             pass
@@ -668,33 +703,14 @@ class SimulationService:
     # ------------------------------------------------------------------
     # Routes
 
-    def _submit(self, body: bytes) -> tuple[int, dict[str, Any], dict[str, str]]:
-        if self._draining:
-            return 409, {"error": "server is shutting down"}, {}
-        try:
-            data = json.loads(body.decode("utf-8") or "{}")
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            return 400, {"error": f"invalid JSON body: {exc}"}, {}
-        if not isinstance(data, dict):
-            return 400, {"error": "job spec must be a JSON object"}, {}
-        priority = data.pop("priority", 0)
-        if isinstance(priority, bool) or not isinstance(priority, int):
-            return 400, {"error": "priority must be an integer"}, {}
-        try:
-            spec = JobSpec.from_dict(data)
-        except SpecError as exc:
-            return 400, {"error": str(exc)}, {}
-        if spec.workload not in WORKLOADS and spec.workload not in PROFILES:
-            return 400, {
-                "error": f"unknown workload {spec.workload!r}",
-                "workloads": sorted(WORKLOADS),
-                "benchmarks": sorted(PROFILES),
-            }, {}
-        if spec.policy not in POLICIES:
-            return 400, {
-                "error": f"unknown policy {spec.policy!r}",
-                "policies": sorted(POLICIES),
-            }, {}
+    def _admit(self, spec: JobSpec, priority: int) -> tuple[Job, bool]:
+        """Run one validated spec through the three dedup tiers.
+
+        Returns ``(job, queued)`` — ``queued`` is True only when a fresh
+        job entered the queue (the 202 case); otherwise the job was served
+        by the store, the runner caches, or coalescing. Raises
+        :class:`QueueFull` when a genuinely new job meets a full queue.
+        """
         self.counters["submitted"] += 1
 
         # Dedup tier 1: the persistent result store.
@@ -702,7 +718,7 @@ class SimulationService:
         if rec is not None and rec.get("result") is not None:
             job = self._job_from_record(spec, priority, rec)
             self.counters["store_hits"] += 1
-            return 200, job.status_dict(), {}
+            return job, False
 
         # Dedup tier 2: the ExperimentRunner disk/memory caches.
         runner = self._runner_for(spec)
@@ -712,12 +728,33 @@ class SimulationService:
             self._register(job)
             self._complete_job(job, res, "disk")
             self.counters["cache_hits"] += 1
-            return 200, job.status_dict(), {}
+            return job, False
 
         # Dedup tier 3: coalesce onto an identical queued/running job.
         job = Job(id=self._new_id(), spec=spec, priority=priority)
+        admitted, coalesced = self.queue.submit(job, retry_after=self._retry_after())
+        if coalesced:
+            self.counters["coalesced"] += 1
+            return admitted, False
+        self._register(admitted)
+        self.counters["queued"] += 1
+        self._wake.set()
+        return admitted, True
+
+    def _submit(self, body: bytes) -> tuple[int, dict[str, Any], dict[str, str]]:
+        if self._draining:
+            return 409, {"error": "server is shutting down"}, {}
         try:
-            admitted, coalesced = self.queue.submit(job, retry_after=self._retry_after())
+            data = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}, {}
+        validated = validate_spec(data)
+        if isinstance(validated[0], int):
+            status, payload = validated  # type: ignore[misc]
+            return status, payload, {}
+        spec, priority = validated  # type: ignore[misc]
+        try:
+            job, queued = self._admit(spec, priority)
         except QueueFull as exc:
             self.counters["rejected"] += 1
             return (
@@ -729,13 +766,101 @@ class SimulationService:
                 },
                 {"Retry-After": str(max(1, round(exc.retry_after)))},
             )
-        if coalesced:
-            self.counters["coalesced"] += 1
-            return 200, admitted.status_dict(), {}
-        self._register(admitted)
-        self.counters["queued"] += 1
-        self._wake.set()
-        return 202, admitted.status_dict(), {}
+        return (202 if queued else 200), job.status_dict(), {}
+
+    # ------------------------------------------------------------------
+    # Result streaming
+
+    @staticmethod
+    def _stream_line(index: int, job: Job) -> dict[str, Any]:
+        """One NDJSON line of a ``/v1/stream`` response."""
+        return {
+            "index": index,
+            "id": job.id,
+            "key": job.key,
+            "state": job.state,
+            "source": job.source,
+            "error": job.error,
+            "spec": job.spec.to_dict(),
+            "result": job.result,
+        }
+
+    async def _stream(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        """``POST /v1/stream``: admit a sweep, stream outcomes as NDJSON.
+
+        Validation failures answer a plain JSON error *before* the chunked
+        response starts (all-or-nothing admission of the request shape).
+        After that, every spec eventually produces exactly one line. Specs
+        meeting a full queue are re-admitted as capacity frees — the
+        pacing that lets a sweep larger than the queue stream through —
+        and a drain mid-stream emits terminal ``cancelled`` lines rather
+        than silently dropping the connection.
+        """
+        if self._draining:
+            writer.write(json_response(409, {"error": "server is shutting down"}))
+            await writer.drain()
+            return
+        try:
+            entries = parse_stream_request(request.json())
+        except (ValueError, SpecError) as exc:
+            writer.write(json_response(400, {"error": str(exc)}))
+            await writer.drain()
+            return
+        validated: list[tuple[JobSpec, int]] = []
+        for i, data in enumerate(entries):
+            result = validate_spec(data)
+            if isinstance(result[0], int):
+                status, payload = result  # type: ignore[misc]
+                payload = dict(payload)
+                payload["error"] = f"jobs[{i}]: {payload['error']}"
+                writer.write(json_response(status, payload))
+                await writer.drain()
+                return
+            validated.append(result)  # type: ignore[arg-type]
+
+        self.counters["streams"] += 1
+        await start_chunked(writer, 200, {"X-Stream-Jobs": str(len(validated))})
+        waiting = list(enumerate(validated))  # [(index, (spec, priority))]
+        live: dict[int, Job] = {}
+        while waiting or live:
+            if self._draining:
+                # The drain cancels queued jobs and finishes running ones;
+                # report what we know and close out every pending line.
+                for index, job in sorted(live.items()):
+                    if job.state not in JobState.TERMINAL:
+                        job = Job(
+                            id=job.id, spec=job.spec, state=JobState.CANCELLED,
+                            error="server shutting down",
+                        )
+                    await write_chunk(writer, self._stream_line(index, job))
+                for index, (spec, priority) in waiting:
+                    job = Job(
+                        id="", spec=spec, priority=priority,
+                        state=JobState.CANCELLED, error="server shutting down",
+                    )
+                    await write_chunk(writer, self._stream_line(index, job))
+                break
+            still_waiting: list[tuple[int, tuple[JobSpec, int]]] = []
+            for index, (spec, priority) in waiting:
+                try:
+                    job, _ = self._admit(spec, priority)
+                except QueueFull:
+                    # Paced admission: the queue is the backpressure point,
+                    # the stream handler is the patient client.
+                    still_waiting.append((index, (spec, priority)))
+                    continue
+                live[index] = job
+                self.counters["streamed_jobs"] += 1
+            waiting = still_waiting
+            for index in sorted(live):
+                job = live[index]
+                if job.state in JobState.TERMINAL:
+                    await write_chunk(writer, self._stream_line(index, job))
+                    del live[index]
+            if waiting or live:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(self._shutdown.wait(), STREAM_POLL)
+        await end_chunked(writer)
 
     def _job_from_record(self, spec: JobSpec, priority: int, rec: dict[str, Any]) -> Job:
         """A fresh DONE job served entirely from a stored record."""

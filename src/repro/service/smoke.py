@@ -10,6 +10,13 @@
   lease protocol, and — with ``--chaos`` — SIGKILL one worker mid-run,
   requiring the sweep to complete anyway (expired lease, redelivery,
   local fallback; no dead-letters, no duplicates).
+- **Sharded** (``--router --shards N [--workers M --chaos]``): boot a
+  ``dwarn-sim route`` front-end supervising N daemon shards, run the same
+  16-job sweep through it, and require jobs to land on more than one shard
+  (routed ids carry their owning shard's prefix), duplicates to be served
+  from the owning shard's caches, and a clean SIGTERM drain of the whole
+  tree. With ``--workers M`` the workers lease through the router; with
+  ``--chaos`` one is SIGKILLed mid-run and the sweep must still finish.
 - **Bench** (``--bench``): time a 16-job sweep against a lone daemon and
   against 2 workers x ``--concurrency 2``, and require the distributed
   run to be ``--min-speedup`` (default 1.7) times faster — the
@@ -103,6 +110,24 @@ def _boot_server(tmp: Path, *extra: str) -> tuple[subprocess.Popen, int, Path]:
     proc = subprocess.Popen(cmd)
     port = _wait_for_port_file(port_file, proc)
     return proc, port, store
+
+
+def _boot_router(tmp: Path, shards_n: int, *extra: str) -> tuple[subprocess.Popen, int]:
+    """Start ``dwarn-sim route`` with ``shards_n`` supervised shards."""
+    port_file = tmp / "router-port"
+    port_file.unlink(missing_ok=True)
+    cmd = [
+        sys.executable, "-m", "repro.cli", "route",
+        "--port", "0",
+        "--port-file", str(port_file),
+        "--shards", str(shards_n),
+        "--state-dir", str(tmp / "router-state"),
+        "--processes", "1",
+        *extra,
+    ]
+    proc = subprocess.Popen(cmd)
+    port = _wait_for_port_file(port_file, proc, timeout=60.0)
+    return proc, port
 
 
 def _boot_worker(port: int, tmp: Path, name: str, concurrency: int = 1) -> subprocess.Popen:
@@ -252,6 +277,79 @@ def _distributed_main(tmp: Path, workers_n: int, chaos: bool) -> int:
         _kill(server, *workers)
 
 
+def _router_main(tmp: Path, shards_n: int, workers_n: int, chaos: bool) -> int:
+    extra = ("--lease-ttl", "2") if workers_n else ()
+    router, port = _boot_router(tmp, shards_n, *extra)
+    workers = []
+    try:
+        client = ServiceClient("127.0.0.1", port, timeout=30.0)
+        health = client.healthz()
+        if health["status"] != "ok" or health.get("role") != "router":
+            raise RuntimeError(f"router unhealthy at boot: {health}")
+        if health["shards_up"] != shards_n:
+            raise RuntimeError(f"expected {shards_n} shards up: {health}")
+        print(f"smoke: router on port {port}, {shards_n} shards up")
+
+        if workers_n:
+            workers = [
+                _boot_worker(port, tmp, f"smoke-rw{i}") for i in range(workers_n)
+            ]
+            _wait_metric(client, "workers", "active", workers_n, timeout=30.0)
+            print(f"smoke: {workers_n} workers leasing through the router")
+
+        specs = _sweep_specs()
+        jobs = [client.submit(spec) for spec in specs]
+        owners = {job["id"].split("@", 1)[0] for job in jobs}
+        print(f"smoke: submitted {len(jobs)} jobs across shards {sorted(owners)}")
+        if shards_n >= 2 and len(owners) < 2:
+            raise RuntimeError(f"all jobs hashed to one shard: {sorted(owners)}")
+
+        if chaos and workers:
+            _wait_metric(client, "jobs", "completed", 2, timeout=120.0)
+            workers[0].send_signal(signal.SIGKILL)
+            workers[0].wait(timeout=10)
+            print("smoke: SIGKILLed worker smoke-rw0 mid-run")
+
+        for job in jobs:
+            record = client.wait(job["id"], timeout=300.0)
+            if record["state"] != "done" or record["result"]["throughput"] <= 0:
+                raise RuntimeError(f"sweep job did not complete: {record}")
+
+        # A duplicate must be served from the owning shard's caches, with
+        # the same shard prefix as the original submission.
+        dup = client.submit(specs[0])
+        if dup["state"] != "done" or dup["source"] not in ("store", "disk", "memory"):
+            raise RuntimeError(f"duplicate was not cache-served: {dup}")
+        if dup["id"].split("@", 1)[0] != jobs[0]["id"].split("@", 1)[0]:
+            raise RuntimeError(
+                f"duplicate routed to a different shard: {dup['id']} vs {jobs[0]['id']}"
+            )
+        print(f"smoke: duplicate served from {dup['source']} on its owning shard")
+
+        m = client.metrics()
+        if m["jobs"]["completed"] < len(specs) or m["jobs"].get("failed"):
+            raise RuntimeError(f"sweep not fully completed: {m['jobs']}")
+        if m["router"]["routed"] < len(specs):
+            raise RuntimeError(f"router routed too few submissions: {m['router']}")
+        if workers:
+            w = m["workers"]
+            if w["worker_results"] < 1 or w.get("dead_letter"):
+                raise RuntimeError(f"worker accounting wrong through router: {w}")
+            print(
+                f"smoke: {w['worker_results']} results via workers, "
+                f"{w['redelivered']} redelivered, {w['dead_letter']} dead"
+            )
+
+        router.send_signal(signal.SIGTERM)
+        status = router.wait(timeout=60)
+        if status != 0:
+            raise RuntimeError(f"router exited {status} on SIGTERM (want clean drain)")
+        print("smoke: sharded sweep OK, clean router + shard drain")
+        return 0
+    finally:
+        _kill(router, *workers)
+
+
 def _bench_main(tmp: Path, min_speedup: float) -> int:
     specs = _sweep_specs(measure=20_000, trace=40_000)
 
@@ -305,6 +403,14 @@ def main(argv: list[str] | None = None) -> int:
         help="with --workers: SIGKILL one worker mid-sweep",
     )
     parser.add_argument(
+        "--router", action="store_true",
+        help="sharded mode: route the sweep through dwarn-sim route",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="with --router: number of supervised shards (default: 2)",
+    )
+    parser.add_argument(
         "--bench", action="store_true",
         help="time single-daemon vs 2 workers x concurrency 2",
     )
@@ -324,6 +430,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"bench: SKIPPED — need >= 4 CPUs for a meaningful ratio, have {cores}")
                 return 0
             return _bench_main(tmp, args.min_speedup)
+        if args.router:
+            return _router_main(tmp, args.shards, args.workers, args.chaos)
         if args.workers:
             return _distributed_main(tmp, args.workers, args.chaos)
         return _single_main(tmp)

@@ -151,11 +151,18 @@ class Worker:
     def _lease(self) -> dict[str, Any] | None:
         """One ``POST /v1/leases``; ``None`` when the queue had nothing
         (after sleeping the server's advertised ``poll_after``)."""
-        status, payload, _ = self.transport.request(
+        status, payload, headers = self.transport.request(
             "POST",
             "/v1/leases",
             {"worker": self.id, "capacity": self.cfg.capacity},
         )
+        if status in (429, 503):
+            # Backpressure, not failure: the router says "come back later"
+            # (rate limit, or every shard in cooldown). Honour the hint.
+            self._sleep(
+                max(self.cfg.poll_interval, float(headers.get("Retry-After", 1.0)))
+            )
+            return None
         if status != 200:
             raise ServiceError(f"lease refused: HTTP {status}: {payload}", status, payload)
         if not payload.get("jobs"):

@@ -1,6 +1,7 @@
 """CLI surface of the service subsystem: ``dwarn-sim version`` and the
-``serve`` argument wiring (the daemon itself is exercised end-to-end by
-tests/test_service_e2e.py and the CI smoke job)."""
+``serve``/``route``/``loadtest`` argument wiring (the daemons themselves
+are exercised end-to-end by tests/test_service_e2e.py,
+tests/test_service_router.py and the CI smoke jobs)."""
 
 from __future__ import annotations
 
@@ -9,6 +10,7 @@ import pytest
 from repro.cli import build_parser, main
 from repro.experiments.runner import CACHE_VERSION
 from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.router import ROUTER_VERSION
 from repro.service.store import STORE_VERSION
 from repro.trace.artifact import ARTIFACT_VERSION
 
@@ -23,6 +25,7 @@ class TestVersionCommand:
         assert f"trace-artifact schema: v{ARTIFACT_VERSION}" in out
         assert f"result-cache schema:   v{CACHE_VERSION}" in out
         assert f"service protocol:      v{PROTOCOL_VERSION}" in out
+        assert f"router schema:         v{ROUTER_VERSION}" in out
         assert f"result-store schema:   v{STORE_VERSION}" in out
 
     def test_artifact_details_shown(self, capsys):
@@ -66,3 +69,74 @@ class TestServeParser:
     def test_bad_subcommand_still_rejected(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])
+
+
+class TestRouteParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["route"])
+        assert args.command == "route"
+        assert args.port == 8178  # one above serve's 8177
+        assert args.shards == 2
+        assert args.shard is None  # supervised mode by default
+        assert args.state_dir == ".cache/router"
+        assert args.rate == 0.0  # admission control off by default
+        assert args.burst == pytest.approx(30.0)
+        assert args.cooldown == pytest.approx(2.0)
+
+    def test_external_shards_repeatable(self):
+        args = build_parser().parse_args(
+            [
+                "route", "--shard", "127.0.0.1:9000", "--shard", "h2:9001",
+                "--rate", "5", "--burst", "10", "--cooldown", "0.5",
+                "--port", "0", "--port-file", "/tmp/rp",
+            ]
+        )
+        assert args.shard == ["127.0.0.1:9000", "h2:9001"]
+        assert args.rate == pytest.approx(5.0)
+        assert args.burst == pytest.approx(10.0)
+        assert args.cooldown == pytest.approx(0.5)
+        assert args.port == 0 and args.port_file == "/tmp/rp"
+
+    def test_supervised_shard_passthrough_flags(self):
+        args = build_parser().parse_args(
+            [
+                "route", "--shards", "4", "--queue-capacity", "128",
+                "--batch-max", "4", "--backend", "vec", "--lease-ttl", "5",
+            ]
+        )
+        assert args.shards == 4
+        assert args.queue_capacity == 128
+        assert args.batch_max == 4
+        assert args.backend == "vec"
+        assert args.lease_ttl == pytest.approx(5.0)
+
+
+class TestLoadtestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.command == "loadtest"
+        assert args.router is None  # boots its own fleet by default
+        assert args.shards == 2
+        assert args.jobs == 1000
+        assert args.unique == 24
+        assert args.rolling_restart is False
+        assert args.out == "BENCH_service.json"
+        assert args.min_jobs_per_min is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "loadtest", "--router", "http://127.0.0.1:8178",
+                "--clients", "64", "--stream-clients", "4", "--jobs", "2000",
+                "--unique", "36", "--rolling-restart",
+                "--min-jobs-per-min", "1000", "--out", "/tmp/b.json",
+                "--seed", "9",
+            ]
+        )
+        assert args.router == "http://127.0.0.1:8178"
+        assert args.clients == 64 and args.stream_clients == 4
+        assert args.jobs == 2000 and args.unique == 36
+        assert args.rolling_restart is True
+        assert args.min_jobs_per_min == pytest.approx(1000.0)
+        assert args.out == "/tmp/b.json"
+        assert args.seed == 9

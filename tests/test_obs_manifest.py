@@ -74,6 +74,21 @@ class TestRunManifestUnit:
         m.record_pair("s", "2-MIX", "dwarn", "memory", 2.0)
         assert m.latency_percentiles(qs=(0.0, 100.0)) == {"p0": 2.0, "p100": 2.0}
 
+    def test_latency_percentiles_sweep_filter(self):
+        """Per-shard latency splits: the load harness tags each record's
+        sweep with the serving shard name and slices one manifest."""
+        m = RunManifest(label="loadtest")
+        for secs in (0.1, 0.2, 0.3):
+            m.record_pair("s0", "2-MIX", "dwarn", "store", secs)
+        for secs in (1.0, 2.0, 3.0):
+            m.record_pair("s1", "2-MEM", "flush", "simulated", secs)
+        assert m.latency_percentiles(sweep="s0")["p50"] == pytest.approx(0.2)
+        assert m.latency_percentiles(sweep="s1")["p50"] == pytest.approx(2.0)
+        # No filter = the fleet-wide distribution.
+        assert m.latency_percentiles()["p50"] == pytest.approx(0.65)
+        # An unknown label is an empty sample, not an error.
+        assert m.latency_percentiles(sweep="s9") == {"p50": 0.0, "p95": 0.0}
+
     def test_merge_folds_pairs_and_restarts(self):
         a = RunManifest(label="service")
         a.record_pair("a", "2-MIX", "dwarn", "simulated", 1.0)

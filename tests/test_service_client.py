@@ -1,0 +1,171 @@
+"""Client retry semantics, pinned against a scripted in-process HTTP server.
+
+The regression under test is the wall-clock deadline: before it existed,
+``retries``/``backpressure_retries`` were the only bound, so a server
+advertising ``Retry-After: 10`` could park a 64-retry client for ten
+minutes. A ``deadline`` is a *total elapsed* budget for one logical call —
+it spans transport retries, backoff sleeps and backpressure waits, and the
+call must surface an error promptly once the budget is spent, however many
+attempts remain.
+
+No simulations run here: the fake server answers scripted statuses, which
+keeps the timing assertions tight enough to be meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+SPEC = {"workload": "2-MIX", "policy": "dwarn"}
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class ScriptedServer:
+    """Answers every POST with the next scripted (status, headers) entry,
+    recording request headers; the last entry repeats forever."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self):  # noqa: N802  (stdlib naming)
+                outer.requests.append(dict(self.headers))
+                index = min(len(outer.requests) - 1, len(outer.script) - 1)
+                status, headers = outer.script[index]
+                body = json.dumps({"error": "scripted", "retry_after": 1}).encode()
+                self.send_response(status)
+                for key, value in headers.items():
+                    self.send_header(key, value)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        self.httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.port = self.httpd.server_address[1]
+        self.thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
+        self.thread.start()
+
+    def close(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+
+@pytest.fixture
+def always_429():
+    srv = ScriptedServer([(429, {"Retry-After": "10"})])
+    yield srv
+    srv.close()
+
+
+class TestTransportDeadline:
+    def test_connection_refused_respects_deadline(self):
+        """Many transport retries allowed, but the 0.5s budget wins."""
+        client = ServiceClient(
+            "127.0.0.1", _free_port(), timeout=1.0, retries=50,
+            backoff=0.2, deadline=0.5, rng=random.Random(7),
+        )
+        t0 = time.monotonic()
+        with pytest.raises(ServiceError) as exc:
+            client.submit(SPEC)
+        elapsed = time.monotonic() - t0
+        assert "deadline exceeded" in str(exc.value)
+        assert elapsed < 3.0  # 51 attempts x 0.2s backoff would be ~20s
+
+    def test_no_deadline_keeps_attempt_bound(self):
+        """deadline=None preserves the legacy attempts-only behaviour."""
+        client = ServiceClient(
+            "127.0.0.1", _free_port(), timeout=1.0, retries=2,
+            backoff=0.01, rng=random.Random(7),
+        )
+        with pytest.raises(ServiceError) as exc:
+            client.submit(SPEC)
+        assert "failed after 3 attempts" in str(exc.value)
+
+
+class TestBackpressureDeadline:
+    def test_deadline_cuts_through_retry_after(self, always_429):
+        """Retry-After: 10 with generous retries must still error within
+        the 1s budget — the sleep is capped at the remaining budget."""
+        client = ServiceClient(
+            "127.0.0.1", always_429.port, timeout=5.0,
+            backpressure_retries=1000, max_retry_after=5.0,
+            deadline=1.0, rng=random.Random(7),
+        )
+        t0 = time.monotonic()
+        with pytest.raises(ServiceError) as exc:
+            client.submit(SPEC)
+        elapsed = time.monotonic() - t0
+        # The budget can expire in either layer — mid-backpressure-wait
+        # (429 surfaces) or at the next transport attempt — but it must be
+        # a deadline error either way, and fast.
+        assert "deadline exceeded" in str(exc.value)
+        assert 0.5 < elapsed < 3.0
+
+    def test_per_call_deadline_overrides_instance_default(self, always_429):
+        client = ServiceClient(
+            "127.0.0.1", always_429.port, timeout=5.0,
+            backpressure_retries=1000, deadline=None, rng=random.Random(7),
+        )
+        t0 = time.monotonic()
+        with pytest.raises(ServiceError) as exc:
+            client.submit(SPEC, deadline=0.5)
+        assert time.monotonic() - t0 < 3.0
+        assert "deadline exceeded" in str(exc.value)
+
+    def test_zero_backpressure_retries_surface_immediately(self, always_429):
+        client = ServiceClient("127.0.0.1", always_429.port, timeout=5.0)
+        with pytest.raises(ServiceError) as exc:
+            client.submit(SPEC)
+        assert exc.value.status == 429
+        assert len(always_429.requests) == 1  # no retry, no sleep
+
+    def test_success_before_deadline_wins(self):
+        srv = ScriptedServer([
+            (429, {"Retry-After": "0.1"}),
+            (202, {"Content-Type": "application/json"}),
+        ])
+        try:
+            client = ServiceClient(
+                "127.0.0.1", srv.port, timeout=5.0,
+                backpressure_retries=5, deadline=10.0, rng=random.Random(7),
+            )
+            payload = client.submit(SPEC)
+            assert payload == {"error": "scripted", "retry_after": 1}
+            assert len(srv.requests) == 2
+        finally:
+            srv.close()
+
+
+class TestClientIdHeader:
+    def test_client_id_rides_every_request(self, always_429):
+        client = ServiceClient(
+            "127.0.0.1", always_429.port, timeout=5.0, client_id="sweeper-7"
+        )
+        with pytest.raises(ServiceError):
+            client.submit(SPEC)
+        assert always_429.requests[0].get("X-Client-Id") == "sweeper-7"
+
+    def test_anonymous_when_unset(self, always_429):
+        client = ServiceClient("127.0.0.1", always_429.port, timeout=5.0)
+        with pytest.raises(ServiceError):
+            client.submit(SPEC)
+        assert "X-Client-Id" not in always_429.requests[0]

@@ -15,7 +15,13 @@ import math
 import pytest
 
 from repro.service.protocol import Job, JobSpec, JobState
-from repro.service.queue import DEFAULT_RETRY_AFTER, JobQueue, QueueFull
+from repro.service.queue import (
+    DEFAULT_RETRY_AFTER,
+    JobQueue,
+    QueueFull,
+    RateLimited,
+    TokenBucket,
+)
 
 
 def _job(jid: str, workload="2-MIX", policy="dwarn", priority=0, **spec):
@@ -214,3 +220,95 @@ class TestShutdown:
         assert len(q) == 0
         # The running job is still active (it must drain, not vanish).
         assert q.find(running.key) is running
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    """Per-client admission control (the router's ``--rate`` knob)."""
+
+    def test_burst_then_limited(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        bucket.acquire("c1")
+        bucket.acquire("c1")
+        with pytest.raises(RateLimited) as exc:
+            bucket.acquire("c1")
+        assert exc.value.client == "c1"
+        assert exc.value.retry_after == pytest.approx(1.0)
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.acquire("c1")
+        bucket.acquire("c1")
+        clock.now += 0.5  # 2 tokens/s * 0.5s = 1 token back
+        bucket.acquire("c1")
+        with pytest.raises(RateLimited):
+            bucket.acquire("c1")
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.now += 3600.0  # an hour idle must not bank 36k tokens
+        bucket.acquire("c1")
+        bucket.acquire("c1")
+        with pytest.raises(RateLimited):
+            bucket.acquire("c1")
+
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        bucket.acquire("c1")
+        bucket.acquire("c2")  # c2's bucket is untouched by c1's spend
+        with pytest.raises(RateLimited):
+            bucket.acquire("c1")
+
+    def test_rate_zero_disables(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0)
+        for _ in range(1000):
+            bucket.acquire("c1")
+        assert bucket.remaining("c1") == pytest.approx(1.0)
+
+    def test_bulk_cost_capped_at_burst(self):
+        """A stream of 500 jobs costs at most one full burst — otherwise a
+        single large request could never be admitted at any rate."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=30.0, clock=clock)
+        bucket.acquire("c1", tokens=500.0)
+        with pytest.raises(RateLimited):
+            bucket.acquire("c1")
+
+    def test_remaining_reports_level(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=4.0, clock=clock)
+        assert bucket.remaining("new-client") == pytest.approx(4.0)
+        bucket.acquire("new-client")
+        assert bucket.remaining("new-client") == pytest.approx(3.0)
+
+    def test_retry_after_scales_with_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        bucket.acquire("c1", tokens=4.0)
+        with pytest.raises(RateLimited) as exc:
+            bucket.acquire("c1", tokens=3.0)
+        assert exc.value.retry_after == pytest.approx(1.5)  # 3 tokens @ 2/s
+
+    def test_invalid_burst_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+    def test_prune_drops_idle_full_buckets(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        for i in range(TokenBucket.PRUNE_AT):
+            bucket.acquire(f"c{i}")
+        clock.now += 60.0  # everyone refills to full -> prunable
+        bucket.acquire("straw")
+        assert len(bucket._buckets) < TokenBucket.PRUNE_AT

@@ -1,0 +1,129 @@
+"""Chunked result streaming: ``POST /v1/stream`` against a single daemon
+and relayed through the sharding router.
+
+The streaming contract under test:
+
+- one NDJSON line per submitted spec, tagged with its submission ``index``,
+  arriving in *completion* order the moment each job finishes;
+- duplicates inside one stream coalesce (or hit the caches) rather than
+  re-simulating, and still produce their own line;
+- invalid specs fail the whole stream up front with a 400 naming the
+  offending index — never a half-started sweep;
+- through the router, each line additionally names its serving ``shard``
+  and carries the routed (prefixed) job id, with indices preserved across
+  the shard partition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.client import ServiceError
+
+from test_service_e2e import LiveServer
+from test_service_router import TINY, LiveFleet, _owner
+
+
+def _spec(seed, workload="2-MIX", policy="dwarn"):
+    return {"workload": workload, "policy": policy, "seed": seed, **TINY}
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = LiveServer(tmp_path)
+    yield srv
+    srv.kill()
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    f = LiveFleet(tmp_path)
+    yield f
+    f.kill()
+
+
+class TestServerStream:
+    def test_mixed_duplicates_stream_exactly_once_each(self, server):
+        specs = [_spec(1), _spec(2), _spec(1), _spec(2), _spec(1, policy="icount")]
+        lines = list(server.client.stream(specs, timeout=120.0))
+
+        assert len(lines) == len(specs)
+        assert sorted(line["index"] for line in lines) == list(range(len(specs)))
+        for line in lines:
+            assert line["state"] == "done"
+            assert line["result"]["throughput"] > 0
+
+        # Same spec -> same key -> identical result object on every line.
+        by_key = {}
+        for line in lines:
+            by_key.setdefault(line["key"], set()).add(line["result"]["throughput"])
+        assert len(by_key) == 3
+        assert all(len(v) == 1 for v in by_key.values())
+
+        # Three unique specs executed; the two duplicates were coalesced
+        # or cache-served, never re-simulated.
+        m = server.client.metrics()
+        assert m["exec"]["pairs_executed"] <= 3
+        assert m["jobs"]["streams"] == 1
+        assert m["jobs"]["streamed_jobs"] == len(specs)
+
+    def test_bad_spec_fails_whole_stream_with_index(self, server):
+        specs = [_spec(1), {"workload": "2-MIX", "policy": "nope", **TINY}]
+        with pytest.raises(ServiceError) as exc:
+            list(server.client.stream(specs))
+        assert exc.value.status == 400
+        assert "jobs[1]" in str(exc.value)
+        # Nothing was admitted: the valid spec at index 0 did not run.
+        assert server.client.metrics()["jobs"]["submitted"] == 0
+
+    def test_empty_stream_rejected(self, server):
+        with pytest.raises(ServiceError) as exc:
+            list(server.client.stream([]))
+        assert exc.value.status == 400
+
+
+class TestRoutedStream:
+    def test_lines_carry_shard_and_routed_ids(self, fleet):
+        specs = [_spec(seed) for seed in range(1, 7)] + [_spec(1), _spec(2)]
+        expected_shards = {_owner(s) for s in specs}
+        assert expected_shards == {"s0", "s1"}  # the sweep truly spans shards
+
+        lines = list(fleet.client.stream(specs, timeout=120.0))
+        assert sorted(line["index"] for line in lines) == list(range(len(specs)))
+        for line in lines:
+            assert line["state"] == "done"
+            shard, _, bare = line["id"].partition("@")
+            assert shard == line["shard"] and bare
+            assert line["shard"] == _owner(line["spec"])
+
+        # Duplicate indices got the owning shard's cached/coalesced result.
+        by_key = {}
+        for line in lines:
+            by_key.setdefault(line["key"], set()).add(line["result"]["throughput"])
+        assert len(by_key) == 6
+        assert all(len(v) == 1 for v in by_key.values())
+
+        m = fleet.client.metrics()
+        assert m["router"]["streams"] == 1
+        assert m["router"]["streamed_jobs"] == len(specs)
+
+    def test_bad_spec_rejected_before_any_shard_work(self, fleet):
+        specs = [_spec(1), {"workload": "nope", "policy": "dwarn", **TINY}]
+        with pytest.raises(ServiceError) as exc:
+            list(fleet.client.stream(specs))
+        assert exc.value.status == 400
+        assert "jobs[1]" in str(exc.value)
+        assert fleet.client.metrics()["jobs"].get("submitted", 0) == 0
+
+    def test_dead_shard_fails_only_its_indices(self, fleet):
+        fleet.kill_shard(0)
+        specs = [_spec(seed) for seed in range(1, 9)]
+        lines = list(fleet.client.stream(specs, timeout=120.0))
+        assert sorted(line["index"] for line in lines) == list(range(len(specs)))
+        for line in lines:
+            if _owner(line["spec"]) == "s0":
+                assert line["state"] == "failed"
+                assert "s0" in (line.get("error") or "")
+            else:
+                assert line["state"] == "done"
+                assert line["result"]["throughput"] > 0
