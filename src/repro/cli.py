@@ -14,6 +14,10 @@ Subcommands::
     dwarn-sim worker --server URL -j 2         # distributed worker for a daemon
     dwarn-sim route --shards 4                 # sharding router over 4 daemons
     dwarn-sim loadtest --jobs 2000             # load harness -> BENCH_service.json
+    dwarn-sim ingest inspect f.dwit            # validate + describe a trace file
+    dwarn-sim ingest convert t.jsonl -o f.dwit # real JSONL trace -> binary format
+    dwarn-sim ingest export mcf -o f.dwit      # synthetic trace -> trace file
+    dwarn-sim ingest register f.dwit --name w  # make it a named workload
     dwarn-sim version                          # package + on-disk schema versions
     dwarn-sim list                             # workloads/policies/machines
 
@@ -81,9 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-length", type=int, default=60_000)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # --policy deliberately has no argparse choices=: parameterized meta
+    # names (meta-w512-h3) are valid too. main() validates via the policy
+    # registry and prints the same valid-name list a KeyError would.
     p_run = sub.add_parser("run", help="simulate one workload under one policy")
     p_run.add_argument("workload")
-    p_run.add_argument("--policy", default="dwarn", choices=sorted(POLICIES))
+    p_run.add_argument("--policy", default="dwarn")
 
     p_cmp = sub.add_parser("compare", help="all six paper policies on one workload")
     p_cmp.add_argument("workload")
@@ -93,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="one instrumented simulation: interval metrics (+ event trace)",
     )
     p_tr.add_argument("workload")
-    p_tr.add_argument("--policy", default="dwarn", choices=sorted(POLICIES))
+    p_tr.add_argument("--policy", default="dwarn")
     p_tr.add_argument(
         "--window", type=int, default=256,
         help="interval window in cycles (default: 256)",
@@ -119,7 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="record why each thread got its fetch priority"
     )
     p_ex.add_argument("workload")
-    p_ex.add_argument("--policy", default="dwarn", choices=sorted(POLICIES))
+    p_ex.add_argument("--policy", default="dwarn")
     p_ex.add_argument(
         "--last", type=int, default=20,
         help="how many of the newest decisions to print (default: 20)",
@@ -431,6 +438,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="traffic-shape RNG seed",
     )
 
+    p_ing = sub.add_parser(
+        "ingest",
+        help="convert/inspect/register real-trace files (docs/TRACES.md)",
+    )
+    ing_sub = p_ing.add_subparsers(dest="ingest_action", required=True)
+    i_exp = ing_sub.add_parser(
+        "export",
+        help="write a benchmark's synthetic trace as a portable trace file",
+    )
+    i_exp.add_argument("benchmark", help="a profile name, e.g. mcf")
+    i_exp.add_argument("-o", "--output", required=True, metavar="FILE.dwit")
+    i_exp.add_argument(
+        "--name", default=None,
+        help="workload name recorded in the header (default: the benchmark)",
+    )
+    i_cnv = ing_sub.add_parser(
+        "convert", help="convert a JSONL instruction trace to the binary format"
+    )
+    i_cnv.add_argument("source", help="JSONL input (one record per line)")
+    i_cnv.add_argument("-o", "--output", required=True, metavar="FILE.dwit")
+    i_cnv.add_argument("--name", required=True, help="workload name to record")
+    i_cnv.add_argument(
+        "--profile", default="gzip",
+        help="benchmark profile supplying wrong-path/code statistics "
+        "(default: gzip)",
+    )
+    i_ins = ing_sub.add_parser(
+        "inspect", help="validate a trace file and print its header"
+    )
+    i_ins.add_argument("source", help="trace file to inspect")
+    i_reg = ing_sub.add_parser(
+        "register",
+        help="install a trace file into the ingest directory as a named "
+        "workload usable anywhere a benchmark name is",
+    )
+    i_reg.add_argument("source", help="trace file to register")
+    i_reg.add_argument(
+        "--name", default=None,
+        help="workload name (default: the name recorded in the header)",
+    )
+    for p in (i_exp, i_cnv, i_ins, i_reg):
+        p.add_argument(
+            "--ingest-dir", default=None, metavar="DIR",
+            help="ingested-workload directory "
+            "(default: $DWARN_SIM_INGEST_DIR, else .cache/ingested)",
+        )
+
     sub.add_parser(
         "version", help="package version plus on-disk/wire schema versions"
     )
@@ -452,6 +506,7 @@ def _cache_command(args: argparse.Namespace) -> int:
     simulation results + binary trace artifacts) without spelunking."""
     from repro.experiments.parallel import SweepCostModel
     from repro.trace import TraceArtifactCache, trace_cache_stats
+    from repro.trace.ingest import ingest_stats
 
     result_dir = Path(args.cache_dir)
     cost_path = result_dir / SweepCostModel.FILENAME
@@ -465,6 +520,7 @@ def _cache_command(args: argparse.Namespace) -> int:
 
     if args.action == "stats":
         ts = trace_cache.stats()
+        ing = ingest_stats()
         rows = [
             [
                 "results",
@@ -473,6 +529,9 @@ def _cache_command(args: argparse.Namespace) -> int:
                 sum(f.stat().st_size for f in result_files),
             ],
             ["traces", ts["directory"], ts["entries"], ts["total_bytes"]],
+            # Ingested traces are *inputs*, not cache entries — counted
+            # separately so `cache clear` obviously does not touch them.
+            ["ingested", ing["directory"], ing["entries"], ing["total_bytes"]],
         ]
         print(format_table(["cache", "directory", "entries", "bytes"],
                            rows, title="dwarn-sim caches"))
@@ -564,6 +623,112 @@ def _explain_command(args: argparse.Namespace, simcfg: SimulationConfig) -> int:
     return 0
 
 
+def _check_policy(name: str) -> int | None:
+    """Validate a --policy value (no argparse choices: parameterized meta
+    names are legal); prints the registry's own error and returns an exit
+    code on failure, None when valid."""
+    from repro.core import make_policy
+
+    try:
+        make_policy(name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return None
+
+
+def _ingest_command(args: argparse.Namespace, simcfg: SimulationConfig) -> int:
+    """``dwarn-sim ingest``: the real-trace on-ramp (docs/TRACES.md).
+
+    ``export`` writes a benchmark's synthetic trace as a portable file (the
+    CI fixture path), ``convert`` turns a JSONL instruction trace into the
+    binary format, ``inspect`` validates and describes a file, ``register``
+    installs one as a named workload every subcommand and the service then
+    accept wherever a benchmark name is accepted.
+    """
+    from repro.trace import ingest
+
+    if args.ingest_dir is not None:
+        # Inherited by worker processes, so a registered name resolves
+        # identically across a process pool or a worker fleet.
+        os.environ[ingest.INGEST_DIR_ENV] = args.ingest_dir
+
+    try:
+        if args.ingest_action == "export":
+            from repro.trace import generate_trace, get_profile
+
+            profile = get_profile(args.benchmark)
+            trace = generate_trace(
+                profile, simcfg.trace_length, 0, simcfg.seed, 0
+            )
+            path = ingest.export_trace(
+                trace, args.output, name=args.name or args.benchmark
+            )
+            header = ingest.read_header(path)
+            print(
+                f"exported {args.benchmark} ({header.records} records, "
+                f"seed {simcfg.seed}) to {path}"
+            )
+            return 0
+
+        if args.ingest_action == "convert":
+            src = Path(args.source)
+            with open(src, "r", encoding="utf-8") as fh:
+                path = ingest.convert_jsonl(
+                    fh, args.output, name=args.name, profile=args.profile
+                )
+            header = ingest.read_header(path)
+            print(
+                f"converted {src} -> {path} ({header.records} records, "
+                f"profile {header.profile}, raw addresses)"
+            )
+            return 0
+
+        if args.ingest_action == "inspect":
+            tf = ingest.read_trace_file(args.source)
+            h = tf.header
+            loads = sum(1 for op in tf.arrays["op"] if op == 2)
+            branches = sum(1 for op in tf.arrays["op"] if op == 4)
+            print(f"{args.source}: valid trace file (v{h.version})")
+            print(f"  name:         {h.name}")
+            print(f"  profile:      {h.profile}")
+            print(f"  address mode: {h.address_mode} (base {h.base:#x})")
+            print(f"  records:      {h.records}")
+            print(f"  loads:        {loads}  branches: {branches}")
+            print(f"  payload:      {h.payload_bytes} bytes, crc32 {h.crc32:#010x}")
+            return 0
+
+        # register
+        header = ingest.read_header(args.source)
+        name = args.name or header.name
+        if name in WORKLOADS or name in PROFILES:
+            print(
+                f"error: {name!r} is already a built-in workload/benchmark "
+                "name; pick another with --name",
+                file=sys.stderr,
+            )
+            return 2
+        dest = ingest.ingest_dir() / f"{name}{ingest.INGEST_SUFFIX}"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        if Path(args.source).resolve() != dest.resolve():
+            dest.write_bytes(Path(args.source).read_bytes())
+        ingest.read_trace_file(dest)  # full validation of what we installed
+        print(
+            f"registered workload {name!r} -> {dest} "
+            f"({header.records} records); try: dwarn-sim run {name} --policy meta"
+        )
+        return 0
+    except ingest.IngestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _version_command() -> int:
     """``dwarn-sim version``: every version a deployment may need to match.
 
@@ -572,18 +737,27 @@ def _version_command() -> int:
     that ignores another host's artifacts) need them printable.
     """
     import repro
+    from repro.core.policies.meta import META_POLICY_VERSION
     from repro.experiments.runner import CACHE_VERSION
     from repro.service.protocol import PROTOCOL_VERSION
     from repro.service.router import ROUTER_VERSION
     from repro.service.store import STORE_VERSION
     from repro.trace.artifact import schema_info
+    from repro.trace.ingest import ingest_schema_info
 
     art = schema_info()
+    ing = ingest_schema_info()
     print(f"dwarn-sim {repro.__version__}")
     print(
         f"  trace-artifact schema: v{art['version']} "
         f"(magic {art['magic']}, {art['record_bytes']} bytes/record)"
     )
+    print(
+        f"  trace-ingest schema:   v{ing['version']} "
+        f"(magic {ing['magic']}, {ing['record_bytes']} bytes/record, "
+        f"{'/'.join(ing['address_modes'])} addresses)"
+    )
+    print(f"  meta-policy protocol:  v{META_POLICY_VERSION}")
     print(f"  result-cache schema:   v{CACHE_VERSION}")
     print(f"  service protocol:      v{PROTOCOL_VERSION}")
     print(f"  router schema:         v{ROUTER_VERSION}")
@@ -713,11 +887,36 @@ def main(argv: list[str] | None = None) -> int:
     simcfg = _simcfg(args)
 
     if args.command == "list":
+        from repro.trace import ingested_workloads
+
         print("workloads:", ", ".join(sorted(WORKLOADS)))
         print("benchmarks:", ", ".join(sorted(PROFILES)))
-        print("policies:", ", ".join(sorted(POLICIES)))
+        print("policies:", ", ".join(sorted(POLICIES)),
+              "(+ parameterized meta-w<interval>-h<hysteresis>)")
         print("machines:", ", ".join(sorted(PRESETS)))
+        rows = ingested_workloads()
+        if rows:
+            print("ingested workloads:")
+            for row in rows:
+                if "error" in row:
+                    print(f"  {row['name']}: INVALID — {row['error']}")
+                else:
+                    print(
+                        f"  {row['name']}: {row['records']} instrs "
+                        f"({row['address_mode']}, profile {row['profile']}) "
+                        f"from {row['path']}"
+                    )
+        else:
+            print("ingested workloads: none (see `dwarn-sim ingest register`)")
         return 0
+
+    if args.command == "ingest":
+        return _ingest_command(args, simcfg)
+
+    if args.command in ("run", "trace-run", "explain"):
+        err = _check_policy(args.policy)
+        if err is not None:
+            return err
 
     if args.command == "run":
         res = quick_run(args.workload, args.policy, args.machine, simcfg)

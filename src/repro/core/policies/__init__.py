@@ -18,7 +18,14 @@ name                  policy (paper reference)
 ``rr``                round-robin [12] — no feedback (extension)
 ``brcount``           BRCOUNT [12] — fewest unresolved branches (extension)
 ``misscount``         MISSCOUNT [12] — fewest outstanding misses (extension)
+``meta``              dynamic selection among the six paper policies per
+                      interval (extension; see :mod:`repro.core.policies.meta`)
 ====================  =======================================================
+
+``meta`` also accepts parameterized spellings — ``meta-w<interval>`` /
+``meta-h<hysteresis>`` / ``meta-w<interval>-h<hysteresis>`` — resolved by
+``make_policy`` and collapsed to a canonical name by
+``canonical_policy_name`` (the service folds that into job-spec dedup keys).
 """
 
 from __future__ import annotations
@@ -36,6 +43,12 @@ from repro.core.policies.dg import DataGatingPolicy
 from repro.core.policies.dwarn import DWarnPolicy
 from repro.core.policies.flush import FlushPolicy
 from repro.core.policies.icount import ICountPolicy
+from repro.core.policies.meta import (
+    META_POLICY_VERSION,
+    MetaPolicy,
+    canonical_policy_name,
+    parse_meta_name,
+)
 from repro.core.policies.pdg import PredictiveDataGatingPolicy
 from repro.core.policies.predictors import MissPredictor
 from repro.core.policies.stall import StallPolicy
@@ -54,6 +67,11 @@ __all__ = [
     "BRCountPolicy",
     "MissCountPolicy",
     "MissPredictor",
+    "MetaPolicy",
+    "META_POLICY_VERSION",
+    "canonical_policy_name",
+    "is_policy_name",
+    "parse_meta_name",
     "POLICIES",
     "PAPER_POLICIES",
     "make_policy",
@@ -71,6 +89,7 @@ POLICIES: dict[str, Callable[[], FetchPolicy]] = {
     "rr": RoundRobinPolicy,
     "brcount": BRCountPolicy,
     "misscount": MissCountPolicy,
+    "meta": MetaPolicy,
 }
 
 #: The six policies of the paper's evaluation, in its plotting order.
@@ -78,9 +97,30 @@ PAPER_POLICIES = ("icount", "stall", "flush", "dg", "pdg", "dwarn")
 
 
 def make_policy(name: str) -> FetchPolicy:
-    """Instantiate a registered policy by name (KeyError lists valid names)."""
+    """Instantiate a registered policy by name (KeyError lists valid names).
+
+    Beyond the registry, parameterized meta-policy spellings
+    (``meta-w<interval>-h<hysteresis>``) are resolved here so every
+    consumer — CLI, runner, service — accepts them uniformly.
+    """
     try:
         factory = POLICIES[name]
     except KeyError:
-        raise KeyError(f"unknown policy {name!r}; valid: {sorted(POLICIES)}") from None
+        params = parse_meta_name(name)
+        if params is not None:
+            return MetaPolicy(interval=params[0], hysteresis=params[1])
+        raise KeyError(
+            f"unknown policy {name!r}; valid: {sorted(POLICIES)} or a "
+            f"parameterized meta spelling 'meta-w<interval>-h<hysteresis>'"
+        ) from None
     return factory()
+
+
+def is_policy_name(name: str) -> bool:
+    """True when ``make_policy(name)`` would succeed (no instance built)."""
+    if name in POLICIES:
+        return True
+    try:
+        return parse_meta_name(name) is not None
+    except ValueError:
+        return False

@@ -10,6 +10,7 @@ figure3     Figure 3: Hmean improvement of DWarn over the others
 table4      Table 4: per-thread relative IPCs in 4-MIX
 figure4     Figure 4(a/b): the smaller (4-wide, 1.4) machine
 figure5     Figure 5(a/b): the deeper (16-stage) machine
+figure_meta extension: dynamic meta-policy vs. the static policies
 ========== =========================================================
 
 Each module exposes ``run(runner) -> ExperimentResult``; ``repro.experiments.
@@ -25,6 +26,7 @@ from repro.experiments import (
     figure3,
     figure4,
     figure5,
+    figure_meta,
     table2a,
     table4,
 )
@@ -47,6 +49,7 @@ __all__ = [
     "figure3",
     "figure4",
     "figure5",
+    "figure_meta",
     "table4",
     "ext_metrics",
     "ext_seeds",

@@ -14,6 +14,7 @@ from repro.experiments import (
     figure3,
     figure4,
     figure5,
+    figure_meta,
     table2a,
     table4,
 )
@@ -36,6 +37,7 @@ ALL_EXPERIMENTS = (
 EXTENSION_EXPERIMENTS = (
     (ext_metrics, "Extension — metric choice (throughput/WS/Hmean)"),
     (ext_seeds, "Extension — seed robustness"),
+    (figure_meta, "Extension — dynamic meta-policy selection"),
 )
 
 _HEADER = """# EXPERIMENTS — paper vs. measured

@@ -31,6 +31,7 @@ from typing import Any, Mapping
 
 from repro.config import PRESETS, SimulationConfig, get_preset, MachineConfig
 from repro.core import SimResult
+from repro.core.policies import canonical_policy_name
 from repro.utils.rng import stable_hash64
 
 __all__ = [
@@ -169,10 +170,15 @@ class JobSpec:
         """Byte-stable canonical encoding: sorted keys, no whitespace.
 
         Every spelling of the same spec — reordered keys, defaulted versus
-        explicit optional fields — lands on this exact string; the cache
-        key is a hash of it.
+        explicit optional fields, equivalent parameterized policy names
+        (``meta-w256-h2`` vs ``meta``: the meta-policy's interval and
+        hysteresis knobs are part of the policy *name*, so they fold into
+        the key here) — lands on this exact string; the cache key is a
+        hash of it.
         """
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        d = self.to_dict()
+        d["policy"] = canonical_policy_name(d["policy"])
+        return json.dumps(d, sort_keys=True, separators=(",", ":"))
 
     def cache_key(self) -> str:
         """Stable dedup/store key for this spec (hex, 16 chars)."""

@@ -84,6 +84,7 @@ from typing import Any
 
 import repro
 from repro.core import POLICIES, SimResult
+from repro.core.policies import is_policy_name
 from repro.experiments.parallel import SweepCostModel, run_pairs
 from repro.experiments.runner import CACHE_VERSION, ExperimentRunner
 from repro.obs.manifest import RunManifest
@@ -113,7 +114,7 @@ from repro.service.protocol import (
 )
 from repro.service.queue import DEFAULT_RETRY_AFTER, JobQueue, QueueFull
 from repro.service.store import STORE_VERSION, ResultStore
-from repro.trace import PROFILES
+from repro.trace import PROFILES, find_ingested
 from repro.trace.artifact import schema_info
 from repro.workloads import WORKLOADS
 
@@ -150,13 +151,17 @@ def validate_spec(data: Any) -> tuple[JobSpec, int] | tuple[int, dict[str, Any]]
         spec = JobSpec.from_dict(data)
     except SpecError as exc:
         return 400, {"error": str(exc)}
-    if spec.workload not in WORKLOADS and spec.workload not in PROFILES:
+    if (
+        spec.workload not in WORKLOADS
+        and spec.workload not in PROFILES
+        and find_ingested(spec.workload) is None
+    ):
         return 400, {
             "error": f"unknown workload {spec.workload!r}",
             "workloads": sorted(WORKLOADS),
             "benchmarks": sorted(PROFILES),
         }
-    if spec.policy not in POLICIES:
+    if not is_policy_name(spec.policy):
         return 400, {
             "error": f"unknown policy {spec.policy!r}",
             "policies": sorted(POLICIES),

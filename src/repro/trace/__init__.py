@@ -43,6 +43,16 @@ from repro.trace.artifact import (
 )
 from repro.trace.wrongpath import WrongPathSupplier
 from repro.trace.address_space import AddressSpace
+from repro.trace.ingest import (
+    TRACE_INGEST_VERSION,
+    IngestError,
+    export_trace,
+    find_ingested,
+    ingest_schema_info,
+    ingested_workloads,
+    read_trace_file,
+    register_workload,
+)
 
 __all__ = [
     "BenchmarkProfile",
@@ -62,4 +72,12 @@ __all__ = [
     "trace_cache_installed",
     "WrongPathSupplier",
     "AddressSpace",
+    "TRACE_INGEST_VERSION",
+    "IngestError",
+    "export_trace",
+    "find_ingested",
+    "ingest_schema_info",
+    "ingested_workloads",
+    "read_trace_file",
+    "register_workload",
 ]

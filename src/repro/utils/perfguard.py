@@ -30,7 +30,14 @@ preset) and compares two things against a checked-in baseline file
    tolerance is twice the speed tolerance (override: ``sweep_tolerance``
    in the baseline file).
 
-4. **Vectorized-backend throughput** — the batched screening sweep (every
+4. **Ingest round-trip** — ``ingest_secs``: wall-clock of one full trace
+   ingest consumer path (header + CRC validation, per-record checks,
+   materialization) over a freshly exported ``.dwit`` file,
+   host-normalized like the sweep metric (lower is better). Guards the
+   ``repro.trace.ingest`` frontend against validation or interning work
+   creeping into the hot path.
+
+5. **Vectorized-backend throughput** — the batched screening sweep (every
    registry policy over the 2/4-thread workload mix) through
    ``repro.core.vec`` versus per-pair cold serial execution. The speedup
    ratio is self-normalizing (both arms run on the same host) and has a
@@ -38,7 +45,7 @@ preset) and compares two things against a checked-in baseline file
    batch's ``vec_cycles_per_sec`` additionally gets the usual
    host-normalized regression check.
 
-5. **Digest-scale vec throughput** — the same guarded pairs the digests run
+6. **Digest-scale vec throughput** — the same guarded pairs the digests run
    (long windows, the shape cache-size sweeps and interval-telemetry runs
    take), batched through the array-stepped kernel versus cold serial. This
    gates the array kernel's win separately from the screening-scale gate:
@@ -95,6 +102,7 @@ __all__ = [
     "check_service_bench",
     "collect_backend_parity",
     "collect_digests",
+    "collect_ingest",
     "collect_obs_overhead",
     "collect_speed",
     "collect_sweep",
@@ -104,8 +112,13 @@ __all__ = [
     "main",
 ]
 
-#: The six policies of the paper's main comparison (Table 4 / Figures 1-5).
-GUARDED_POLICIES: tuple[str, ...] = ("icount", "stall", "flush", "dg", "pdg", "dwarn")
+#: The six policies of the paper's main comparison (Table 4 / Figures 1-5),
+#: plus the dynamic meta-selector extension — its digests pin the interval
+#: feature sampling and switch decisions, and its backend-parity leg keeps
+#: the staged/fused/vec engines honest about mid-run policy switches.
+GUARDED_POLICIES: tuple[str, ...] = (
+    "icount", "stall", "flush", "dg", "pdg", "dwarn", "meta",
+)
 
 #: Small but policy-discriminating workloads: a memory-bound pair (where the
 #: load-miss policies separate from ICOUNT) and the mixed 4-thread workload
@@ -234,6 +247,46 @@ def collect_sweep(processes: int = _SWEEP_PROCESSES) -> dict[str, float]:
     }
 
 
+#: Ingest-measurement shape: records in the round-tripped trace file and
+#: timing repeats (best-of, like the speed microbench).
+_INGEST_RECORDS = 6_000
+_INGEST_REPEATS = 3
+
+
+def collect_ingest(repeats: int = _INGEST_REPEATS) -> dict[str, float]:
+    """Measure the trace-ingest frontend's round-trip wall-clock.
+
+    Exports a deterministic synthetic trace to a temporary ``.dwit`` file,
+    then times the full consumer path — header + CRC validation, record
+    checks, materialization into a simulator-ready trace — ``repeats``
+    times (best run wins, cold memo each time). ``normalized_ingest_secs``
+    is host-normalized like the sweep metric (lower is better), so the
+    guard catches validation or interning work creeping into the hot path.
+    """
+    import tempfile
+
+    from repro.trace import generate_trace, get_profile
+    from repro.trace import ingest as ingest_mod
+
+    calib = calibration_score()
+    trace = generate_trace(get_profile("gzip"), _INGEST_RECORDS, 0, 777)
+    best = float("inf")
+    with tempfile.TemporaryDirectory(prefix="perfguard-ingest-") as tmp:
+        path = ingest_mod.export_trace(trace, Path(tmp) / "guard.dwit")
+        for _ in range(repeats):
+            ingest_mod._MATERIALIZE_CACHE.clear()
+            t0 = time.perf_counter()
+            tf = ingest_mod.read_trace_file(path)
+            ingest_mod.materialize(tf, base=0, seed=777)
+            best = min(best, time.perf_counter() - t0)
+    return {
+        "ingest_secs": round(best, 4),
+        "records": _INGEST_RECORDS,
+        "calibration_mops": round(calib, 3),
+        "normalized_ingest_secs": round(best * calib, 2),
+    }
+
+
 #: The vectorized-backend measurement: a *screening* sweep — every policy in
 #: the registry over the paper's 2/4-thread workload mix at short windows,
 #: the "rank candidate policies cheaply" regime the batch backend exists
@@ -242,7 +295,7 @@ def collect_sweep(processes: int = _SWEEP_PROCESSES) -> dict[str, float]:
 #: sweep, so the ratio is the backend's honest end-to-end win.
 VEC_SCREEN_POLICIES: tuple[str, ...] = (
     "icount", "stall", "flush", "dg", "pdg", "dwarn",
-    "dwarn-pure", "dcpred", "rr", "brcount", "misscount",
+    "dwarn-pure", "dcpred", "rr", "brcount", "misscount", "meta",
 )
 _VEC_SIMCFG = dict(
     warmup_cycles=100, measure_cycles=400, trace_length=6_000, seed=777
@@ -564,6 +617,23 @@ def compare(
                 f"(baseline {base_norm:.1f}, tolerance {sweep_tol:.0%})"
             )
 
+    # Ingest round-trip: lower is better; validation is deliberately strict
+    # (CRC + per-record checks), so the ceiling uses the doubled sweep-style
+    # tolerance unless the baseline pins ``ingest_tolerance``.
+    base_ing = baseline.get("ingest", {})
+    cur_ing = current.get("ingest", {})
+    base_inorm = float(base_ing.get("normalized_ingest_secs", 0.0))
+    cur_inorm = float(cur_ing.get("normalized_ingest_secs", 0.0))
+    if base_inorm > 0.0 and cur_inorm > 0.0:
+        ing_tol = float(baseline.get("ingest_tolerance", 2.0 * tolerance))
+        ceiling = base_inorm * (1.0 + ing_tol)
+        if cur_inorm > ceiling:
+            failures.append(
+                "ingest regression: normalized ingest_secs "
+                f"{cur_inorm:.2f} > ceiling {ceiling:.2f} "
+                f"(baseline {base_inorm:.2f}, tolerance {ing_tol:.0%})"
+            )
+
     # Vectorized backend: the batched-sweep speedup has a hard floor (the
     # backend's reason to exist), and its cycles/sec gets the same
     # normalized-regression check as the single-run microbench.
@@ -620,6 +690,7 @@ def _build_current(skip_speed: bool, skip_sweep: bool) -> dict[str, Any]:
     current: dict[str, Any] = {"digests": collect_digests()}
     if not skip_speed:
         current["speed"] = collect_speed()
+        current["ingest"] = collect_ingest()
         current["vec"] = collect_vec_speed()
         current["vec_digest"] = collect_vec_digest()
     if not (skip_speed or skip_sweep):
@@ -905,6 +976,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline = dict(baseline)
         baseline.pop("speed", None)
         baseline.pop("sweep", None)
+        baseline.pop("ingest", None)
         baseline.pop("vec", None)
         baseline.pop("vec_digest", None)
     if args.skip_sweep:
@@ -935,6 +1007,14 @@ def main(argv: list[str] | None = None) -> int:
             f"({sweep['pairs']} pairs, -j{sweep['processes']}), normalized "
             f"{sweep['normalized_sweep_secs']:.1f} vs baseline "
             f"{baseline.get('sweep', {}).get('normalized_sweep_secs', 0.0):.1f}"
+        )
+    ing = current.get("ingest")
+    if ing is not None:
+        print(
+            f"perfguard OK: ingest round-trip {ing['ingest_secs']:.3f}s "
+            f"({ing['records']} records), normalized "
+            f"{ing['normalized_ingest_secs']:.2f} vs baseline "
+            f"{baseline.get('ingest', {}).get('normalized_ingest_secs', 0.0):.2f}"
         )
     vec = current.get("vec")
     if vec is not None:

@@ -10,15 +10,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from pathlib import Path
+
 from repro.config.simulation import SimulationConfig
+from repro.trace import ingest
 from repro.trace.artifact import TraceArtifactCache, trace_cache_installed
-from repro.trace.profiles import BenchmarkProfile, get_profile
+from repro.trace.profiles import PROFILES, BenchmarkProfile, get_profile
 from repro.trace.synthetic import SyntheticTrace, generate_trace
 from repro.trace.wrongpath import WrongPathSupplier
 from repro.utils.rng import derive_seed
 from repro.workloads.specint import WorkloadSpec
 
-__all__ = ["ThreadProgram", "build_programs", "build_single"]
+__all__ = [
+    "ThreadProgram",
+    "build_ingested_program",
+    "build_programs",
+    "build_single",
+]
 
 #: Address-space slice per hardware context.
 _THREAD_BASE_STRIDE = 1 << 30
@@ -73,12 +81,47 @@ def build_programs(
     return programs
 
 
+def build_ingested_program(
+    name: str, path: str | Path, tid: int, simcfg: SimulationConfig
+) -> ThreadProgram:
+    """One thread program materialized from an ingested trace file.
+
+    The trace's length comes from the file (``simcfg.trace_length`` does
+    not apply — a recorded trace is as long as it is); everything else
+    (address-space slice per tid, wrong-path supply derived from the run
+    seed) matches the synthetic path, so an ingested workload is a drop-in
+    thread anywhere a synthetic one is.
+    """
+    tf = ingest.read_trace_file(path)
+    base = tid * _THREAD_BASE_STRIDE
+    trace = ingest.materialize(tf, base, simcfg.seed)
+    # Seed wrong-path supply from the *profile* (not the workload name):
+    # wrong-path instructions are synthesized from profile statistics
+    # either way, and this makes an exported-then-reingested benchmark
+    # bit-identical to its native synthetic twin — the round-trip gate.
+    wp_seed = derive_seed(simcfg.seed, "wrongpath", trace.profile.name, 0)
+    return ThreadProgram(
+        trace.profile, trace, WrongPathSupplier(trace.profile, base, wp_seed)
+    )
+
+
 def build_single(
     bench: str,
     simcfg: SimulationConfig,
     trace_cache: TraceArtifactCache | None = None,
 ) -> list[ThreadProgram]:
     """A one-thread 'workload': the single-thread reference runs used for
-    Table 2(a) and for the relative-IPC denominators (Hmean)."""
+    Table 2(a) and for the relative-IPC denominators (Hmean).
+
+    Ingested workload names (see :mod:`repro.trace.ingest`) resolve here
+    too — native benchmark names always win, so an ingested file can never
+    shadow a profile — which is the single hook that makes ingested
+    workloads runnable through ``run``/``run_pairs``/the vec backend/the
+    service without any of them knowing about trace files.
+    """
+    if bench not in PROFILES:
+        path = ingest.find_ingested(bench)
+        if path is not None:
+            return [build_ingested_program(bench, path, 0, simcfg)]
     with trace_cache_installed(trace_cache):
         return [_make_program(bench, 0, 0, simcfg)]

@@ -1,0 +1,130 @@
+"""Meta-policy: dynamic selection correctness, determinism, engine parity.
+
+The meta policy switches the active fetch policy at interval boundaries
+from architecture-visible features only, so for a fixed (trace, seed,
+interval) the decision sequence — and therefore the whole simulation — must
+be deterministic and identical across the staged and fused engines (the
+switch path exercises ``order_dirty`` re-reads and the shared gate counts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimulationConfig, baseline
+from repro.core import Simulator, make_policy
+from repro.core.policies import POLICIES, is_policy_name
+from repro.core.policies.meta import (
+    DEFAULT_HYSTERESIS,
+    DEFAULT_INTERVAL,
+    MetaPolicy,
+    canonical_policy_name,
+    meta_policy_name,
+    parse_meta_name,
+)
+from repro.workloads import build_programs, get_workload
+
+
+def _run(workload: str, policy, simcfg: SimulationConfig, fused: bool):
+    programs = build_programs(get_workload(workload), simcfg)
+    pol = make_policy(policy) if isinstance(policy, str) else policy
+    sim = Simulator(baseline(), programs, pol, simcfg)
+    if not fused:
+        sim._step = sim._step  # pin => staged reference path
+    return sim.run(), pol
+
+
+@pytest.fixture(scope="module")
+def simcfg() -> SimulationConfig:
+    return SimulationConfig(
+        warmup_cycles=200, measure_cycles=1_500, trace_length=6_000, seed=777
+    )
+
+
+def test_meta_registered():
+    assert "meta" in POLICIES
+    assert isinstance(make_policy("meta"), MetaPolicy)
+
+
+def test_meta_is_deterministic(simcfg):
+    a, _ = _run("2-MEM", "meta", simcfg, fused=True)
+    b, _ = _run("2-MEM", "meta", simcfg, fused=True)
+    assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+def test_meta_staged_fused_parity(simcfg):
+    fused, pf = _run("2-MEM", "meta", simcfg, fused=True)
+    staged, ps = _run("2-MEM", "meta", simcfg, fused=False)
+    assert dataclasses.asdict(fused) == dataclasses.asdict(staged)
+    # The switch logs themselves must agree, not just the end state.
+    assert pf.switches == ps.switches
+
+
+def test_meta_switches_on_memory_pressure(simcfg):
+    """On a MEM-bound mix the features must move the selector off its
+    starting policy at least once."""
+    _, pol = _run("2-MEM", "meta", simcfg, fused=True)
+    assert len(pol.switches) > 0
+    cycle, src, dst = pol.switches[0]
+    assert cycle > 0 and src != dst
+    assert {src, dst} <= set(POLICIES)
+
+
+def test_meta_knobs_change_behavior(simcfg):
+    """A different interval legitimately changes the decision sequence."""
+    _, coarse = _run("2-MEM", MetaPolicy(interval=1024, hysteresis=1), simcfg, True)
+    _, fine = _run("2-MEM", MetaPolicy(interval=64, hysteresis=1), simcfg, True)
+    assert [c for c, _, _ in coarse.switches] != [c for c, _, _ in fine.switches]
+
+
+# ---------------------------------------------------------------------------
+# name grammar
+
+
+def test_parameterized_spellings_resolve():
+    pol = make_policy("meta-w128-h1")
+    assert isinstance(pol, MetaPolicy)
+    assert pol.interval == 128 and pol.hysteresis == 1
+    assert isinstance(make_policy("meta-w512"), MetaPolicy)
+    assert isinstance(make_policy("meta-h3"), MetaPolicy)
+
+
+def test_parse_meta_name():
+    assert parse_meta_name("meta") == (DEFAULT_INTERVAL, DEFAULT_HYSTERESIS)
+    assert parse_meta_name("meta-w128-h1") == (128, 1)
+    assert parse_meta_name("dwarn") is None
+    assert parse_meta_name("meta-x9") is None
+    with pytest.raises(ValueError):
+        parse_meta_name("meta-w1")  # interval below the floor
+    with pytest.raises(ValueError):
+        parse_meta_name("meta-h0")  # hysteresis below the floor
+
+
+def test_canonical_policy_name():
+    default = meta_policy_name(DEFAULT_INTERVAL, DEFAULT_HYSTERESIS)
+    assert canonical_policy_name(default) == "meta"
+    assert canonical_policy_name("meta") == "meta"
+    assert canonical_policy_name("meta-w128") == "meta-w128-h2"
+    assert canonical_policy_name("dwarn") == "dwarn"
+
+
+def test_is_policy_name():
+    assert is_policy_name("meta")
+    assert is_policy_name("meta-w128-h1")
+    assert is_policy_name("dwarn")
+    assert not is_policy_name("meta-w1")  # parseable shape, bad range
+    assert not is_policy_name("bogus")
+
+
+def test_unknown_policy_error_mentions_meta_grammar():
+    with pytest.raises(KeyError, match="meta spelling"):
+        make_policy("bogus")
+
+
+def test_knob_ranges_enforced():
+    with pytest.raises(ValueError):
+        MetaPolicy(interval=1)
+    with pytest.raises(ValueError):
+        MetaPolicy(hysteresis=0)
