@@ -307,6 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stable worker name (default: hostname-pid)",
     )
     p_wrk.add_argument(
+        "--checkpoint-interval", type=int, default=0, metavar="CYCLES",
+        help="capture and upload a resume checkpoint every N simulated "
+        "cycles (runs jobs serially; 0 = disabled, the default)",
+    )
+    p_wrk.add_argument(
         "--max-leases", type=int, default=None, metavar="N",
         help="exit after executing N leases (default: run forever)",
     )
@@ -737,6 +742,7 @@ def _version_command() -> int:
     that ignores another host's artifacts) need them printable.
     """
     import repro
+    from repro.core.columnar import CHECKPOINT_VERSION, SNAPSHOT_VERSION
     from repro.core.policies.meta import META_POLICY_VERSION
     from repro.experiments.runner import CACHE_VERSION
     from repro.service.protocol import PROTOCOL_VERSION
@@ -762,6 +768,8 @@ def _version_command() -> int:
     print(f"  service protocol:      v{PROTOCOL_VERSION}")
     print(f"  router schema:         v{ROUTER_VERSION}")
     print(f"  result-store schema:   v{STORE_VERSION}")
+    print(f"  snapshot codec:        v{SNAPSHOT_VERSION}")
+    print(f"  checkpoint envelope:   v{CHECKPOINT_VERSION}")
     return 0
 
 
@@ -809,6 +817,7 @@ def _worker_command(args: argparse.Namespace) -> int:
         backend=args.backend,
         vec_kernel=args.vec_kernel,
         trace_cache_dir=trace_dir,
+        checkpoint_interval=args.checkpoint_interval,
         max_leases=args.max_leases,
     )
     return run_worker(cfg)

@@ -23,9 +23,11 @@ Two layers:
 This is what makes the typed-event refactor pay off: every wheel payload is
 now data (``EV_UNGATE`` carries a tid, ``EV_HYBRID_GATE``/``EV_DETECT``/
 ``EV_COMPLETE``/``EV_FILL``/``EV_DECLARE`` carry an instruction), so the
-wheel serializes as ``(cycle, kind, slot)`` triples. A wheel holding a
-closure (external ``schedule_call`` users) cannot be snapshotted and raises
-:class:`SnapshotError`.
+wheel serializes as ``(cycle, kind, slot)`` triples. One ``EV_CALL`` shape
+is serializable: a bound method of the *attached policy* (the meta-policy's
+interval callback) encodes as a named marker and is re-bound to the restored
+policy. Any other closure (external ``schedule_call`` users) cannot be
+snapshotted and raises :class:`SnapshotError`.
 
 Lazily-initialized slots (the fused loop skips ~13 stores per non-branch
 instruction) are preserved exactly: every column carries a presence bitmap,
@@ -45,7 +47,7 @@ import sys
 import zlib
 from array import array
 from collections import deque
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.events import (
     EV_CALL,
@@ -59,22 +61,39 @@ from repro.core.events import (
 from repro.isa.instruction import DynInstr
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.result import SimResult
     from repro.core.simulator import Simulator
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "SNAPSHOT_VERSION",
     "ColumnarState",
     "SnapshotError",
     "capture_warm_hierarchy",
+    "checkpoint_from_bytes",
+    "checkpoint_to_bytes",
+    "peek_checkpoint",
     "restore_warm_hierarchy",
+    "run_checkpointed",
 ]
 
 #: Bump on any change to the column set, codec layout, or structural schema.
-SNAPSHOT_VERSION = 1
+#: v2: serializable policy-bound ``EV_CALL`` markers + meta-policy state.
+SNAPSHOT_VERSION = 2
+
+#: Version of the checkpoint *envelope* (the resume unit shipped over the
+#: lease protocol): a small header binding the captured cycle and run horizon
+#: to an embedded snapshot blob. Bump on envelope layout changes; snapshot
+#: schema changes bump :data:`SNAPSHOT_VERSION` inside the embedded blob.
+CHECKPOINT_VERSION = 1
 
 _MAGIC = b"DWCS"
 #: magic, version, n_slots, json_len, columns_len, crc32(payload)
 _HEADER = struct.Struct("<4sHQQQI")
+
+_CKPT_MAGIC = b"DWCK"
+#: magic, version, cycle, total_cycles, crc32(snapshot blob)
+_CKPT_HEADER = struct.Struct("<4sHQQI")
 
 #: 64-bit signed columns, in storage order.
 _Q_FIELDS: tuple[str, ...] = (
@@ -249,10 +268,17 @@ class ColumnarState:
                 elif kind == EV_UNGATE:
                     bucket.append((kind, ev[1]))
                 elif kind == EV_CALL:
-                    raise SnapshotError(
-                        "event wheel holds an EV_CALL closure; only typed "
-                        "events are serializable"
-                    )
+                    # A bound method of the attached policy (the meta-policy
+                    # interval callback) is pure data: the policy is rebuilt
+                    # by name on restore, so a named marker suffices.
+                    fn = ev[1]
+                    if getattr(fn, "__self__", None) is sim.policy:
+                        bucket.append((kind, f"policy:{fn.__name__}"))
+                    else:
+                        raise SnapshotError(
+                            "event wheel holds an EV_CALL closure; only typed "
+                            "events are serializable"
+                        )
                 else:
                     raise SnapshotError(f"unknown event kind {kind!r}")
             events.append([cycle, bucket])
@@ -315,11 +341,23 @@ class ColumnarState:
                 policy_state[name] = list(v) if isinstance(v, list) else v
         mp = getattr(sim.policy, "predictor", None)
         if mp is not None:
-            policy_state["predictor"] = {
-                "table": list(mp._table),
-                "lookups": mp.lookups,
-                "predicted_miss": mp.predicted_miss,
-                "correct": mp.correct,
+            policy_state["predictor"] = _miss_predictor_state(mp)
+        subs = getattr(sim.policy, "_subs", None)
+        if subs is not None:
+            # Meta-policy: the selector's hysteresis machinery plus every
+            # sub-policy's private counters. The shared gate-counter array is
+            # the meta-policy's own ``_gate_count`` (captured above); restore
+            # re-establishes the sharing by identity, not by copy.
+            pol = sim.policy
+            policy_state["meta"] = {
+                "active": pol._active.name,
+                "switches": [list(s) for s in pol.switches],
+                "streak_name": pol._streak_name,
+                "streak": pol._streak,
+                "prev_ipc": pol._prev_ipc,
+                "base_committed": list(pol._base_committed),
+                "last_features": dict(pol.last_features),
+                "subs": {name: _sub_policy_state(sub) for name, sub in subs.items()},
             }
 
         meta: dict[str, Any] = {
@@ -485,11 +523,17 @@ class ColumnarState:
             ready[q].extend((g, instrs[s]) for g, s in heap)
         sim.ready = ready
         sim.events.clear()
+
+        def _revive(kind: int, p: Any) -> tuple:
+            if kind in _INSTR_EVENTS:
+                return (kind, instrs[p])
+            if kind == EV_CALL:
+                # "policy:<name>" marker -> re-bind to the restored policy.
+                return (kind, getattr(sim.policy, p.partition(":")[2]))
+            return (kind, p)
+
         for cycle, bucket in meta["events"]:
-            sim.events.buckets[cycle] = [
-                (kind, instrs[p] if kind in _INSTR_EVENTS else p)
-                for kind, p in bucket
-            ]
+            sim.events.buckets[cycle] = [_revive(kind, p) for kind, p in bucket]
         sim.events.pending = meta["events_pending"]
 
         for tc, tmeta in zip(sim.threads, meta["threads"]):
@@ -597,12 +641,28 @@ class ColumnarState:
                 v = pstate[name]
                 setattr(sim.policy, name, list(v) if isinstance(v, list) else v)
         if "predictor" in pstate:
-            mp = sim.policy.predictor  # type: ignore[attr-defined]
-            ps = pstate["predictor"]
-            mp._table = bytearray(ps["table"])
-            mp.lookups = ps["lookups"]
-            mp.predicted_miss = ps["predicted_miss"]
-            mp.correct = ps["correct"]
+            _restore_miss_predictor(
+                sim.policy.predictor,  # type: ignore[attr-defined]
+                pstate["predictor"],
+            )
+        mstate = pstate.get("meta")
+        if mstate is not None:
+            pol = sim.policy
+            for name, sstate in mstate["subs"].items():
+                sub = pol._subs[name]  # type: ignore[attr-defined]
+                _restore_sub_policy(sub, sstate)
+                if hasattr(sub, "_gate_count"):
+                    # Re-share the ONE gate-counter array: the engines'
+                    # hoisted EV_UNGATE handler decrements the attached
+                    # policy's array, and every gating sub must see it.
+                    sub._gate_count = pol._gate_count  # type: ignore[attr-defined]
+            pol._active = pol._subs[mstate["active"]]  # type: ignore[attr-defined]
+            pol.switches = [tuple(s) for s in mstate["switches"]]
+            pol._streak_name = mstate["streak_name"]
+            pol._streak = mstate["streak"]
+            pol._prev_ipc = mstate["prev_ipc"]
+            pol._base_committed = list(mstate["base_committed"])
+            pol.last_features = dict(mstate["last_features"])
 
     # --------------------------------------------------------------- codec
 
@@ -709,6 +769,174 @@ def _restore_cache(c: Any, state: dict[str, Any]) -> None:
     c.accesses = state["accesses"]
     c.misses = state["misses"]
     c.bank_conflicts = state["bank_conflicts"]
+
+
+def _miss_predictor_state(mp: Any) -> dict[str, Any]:
+    return {
+        "table": list(mp._table),
+        "lookups": mp.lookups,
+        "predicted_miss": mp.predicted_miss,
+        "correct": mp.correct,
+    }
+
+
+def _restore_miss_predictor(mp: Any, state: dict[str, Any]) -> None:
+    mp._table = bytearray(state["table"])
+    mp.lookups = state["lookups"]
+    mp.predicted_miss = state["predicted_miss"]
+    mp.correct = state["correct"]
+
+
+def _sub_policy_state(sub: Any) -> dict[str, Any]:
+    state: dict[str, Any] = {}
+    for name in _POLICY_SCALARS:
+        if name == "_gate_count":
+            continue  # shared with the meta-policy; restored by identity
+        v = getattr(sub, name, _MISSING)
+        if v is not _MISSING:
+            state[name] = list(v) if isinstance(v, list) else v
+    mp = getattr(sub, "predictor", None)
+    if mp is not None:
+        state["predictor"] = _miss_predictor_state(mp)
+    return state
+
+
+def _restore_sub_policy(sub: Any, state: dict[str, Any]) -> None:
+    for name in _POLICY_SCALARS:
+        if name in state:
+            v = state[name]
+            setattr(sub, name, list(v) if isinstance(v, list) else v)
+    if "predictor" in state:
+        _restore_miss_predictor(sub.predictor, state["predictor"])
+
+
+# ---------------------------------------------------------------- checkpoints
+
+
+def checkpoint_to_bytes(sim: "Simulator") -> bytes:
+    """Capture ``sim`` and wrap the snapshot in a checkpoint envelope.
+
+    The envelope binds the captured cycle and the run horizon
+    (``simcfg.total_cycles``) to the blob, so a consumer can reject a stale
+    or mismatched checkpoint from the header alone, before paying for a full
+    snapshot parse. Raises :class:`SnapshotError` on anything
+    :meth:`ColumnarState.capture` refuses.
+    """
+    blob = ColumnarState.capture(sim).to_bytes()
+    header = _CKPT_HEADER.pack(
+        _CKPT_MAGIC,
+        CHECKPOINT_VERSION,
+        sim.cycle,
+        sim.simcfg.total_cycles,
+        zlib.crc32(blob),
+    )
+    return header + blob
+
+
+def peek_checkpoint(data: bytes) -> tuple[int, int]:
+    """Validate a checkpoint envelope; return ``(cycle, total_cycles)``.
+
+    Checks magic, envelope version, and the CRC over the embedded snapshot
+    blob — everything needed to reject a corrupt or version-skewed upload
+    without deserializing it. Raises :class:`SnapshotError` on any mismatch.
+    """
+    if len(data) < _CKPT_HEADER.size:
+        raise SnapshotError("truncated checkpoint header")
+    magic, version, cycle, total, crc = _CKPT_HEADER.unpack_from(data)
+    if magic != _CKPT_MAGIC:
+        raise SnapshotError("bad checkpoint magic")
+    if version != CHECKPOINT_VERSION:
+        raise SnapshotError(f"unsupported checkpoint version {version}")
+    blob = data[_CKPT_HEADER.size :]
+    if zlib.crc32(blob) != crc:
+        raise SnapshotError("checkpoint CRC mismatch")
+    if not 0 <= cycle <= total:
+        raise SnapshotError(f"checkpoint cycle {cycle} outside horizon {total}")
+    return cycle, total
+
+
+def checkpoint_from_bytes(data: bytes) -> tuple[int, int, ColumnarState]:
+    """Parse a checkpoint envelope into ``(cycle, total_cycles, state)``.
+
+    Raises :class:`SnapshotError` on envelope or snapshot corruption,
+    truncation, or version skew (either layer).
+    """
+    cycle, total = peek_checkpoint(data)
+    state = ColumnarState.from_bytes(data[_CKPT_HEADER.size :])
+    if state.meta["cycle"] != cycle:
+        raise SnapshotError(
+            f"checkpoint header cycle {cycle} != snapshot cycle "
+            f"{state.meta['cycle']}"
+        )
+    return cycle, total, state
+
+
+def run_checkpointed(
+    sim: "Simulator",
+    interval: int,
+    on_checkpoint: Callable[["Simulator"], object],
+    *,
+    skip_idle: bool = False,
+) -> "SimResult":
+    """Run ``sim`` to completion, pausing every ``interval`` cycles.
+
+    Behavior-identical to :meth:`Simulator.run` without an observability
+    attachment: the loop replicates ``_run_loop``'s pause points (warm-up
+    boundary, 64-aligned commit-limit checkpoints) and adds one more — the
+    next multiple of ``interval`` — at which ``on_checkpoint(sim)`` is
+    invoked with the simulator at a safe cycle boundary. Chunked
+    ``run_cycles`` calls are behavior-neutral, so the extra edges change
+    nothing but where the host regains control.
+
+    Works mid-run: a simulator freshly restored via
+    :meth:`ColumnarState.restore_into` continues from its captured cycle
+    (the pending meta-policy ``EV_CALL`` interval boundaries ride in the
+    restored wheel, so the selection cadence is preserved exactly). With
+    ``skip_idle`` the chunks advance through :meth:`run_cycles_skip_idle`;
+    idle-span jumps are clamped to the chunk end, so checkpoint edges stay
+    exact. ``on_checkpoint`` exceptions propagate — callers that want
+    fail-open capture (the service worker) wrap their callback.
+    """
+    if sim.obs is not None:
+        raise SnapshotError(
+            "cannot run checkpointed with an observability attachment"
+        )
+    if interval <= 0:
+        raise ValueError(f"checkpoint interval must be positive, got {interval}")
+    simcfg = sim.simcfg
+    total = simcfg.total_cycles
+    warmup = simcfg.warmup_cycles
+    limit = simcfg.commit_limit
+    advance = sim.run_cycles_skip_idle if skip_idle else sim.run_cycles
+    while sim.cycle < total:
+        cyc = sim.cycle
+        if cyc == warmup:
+            sim._begin_window()
+        if cyc < warmup and warmup < total:
+            stop = warmup
+        else:
+            stop = total
+        edge = (cyc // interval + 1) * interval
+        if edge < stop:
+            stop = edge
+        if limit and sim._warm_committed is not None:
+            ckpt = (cyc | 63) + 1
+            if ckpt < stop:
+                stop = ckpt
+        advance(stop - cyc)
+        if sim.cycle % interval == 0 and sim.cycle < total:
+            on_checkpoint(sim)
+        if (
+            limit
+            and sim._warm_committed is not None
+            and (sim.cycle & 63) == 0
+        ):
+            committed = sim.stats.committed
+            base = sim._warm_committed
+            for t in range(sim.num_threads):
+                if committed[t] - base[t] >= limit:
+                    return sim.result()
+    return sim.result()
 
 
 def capture_warm_hierarchy(hier: Any) -> dict[str, Any]:

@@ -60,6 +60,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.config import MachineConfig, SimulationConfig
 from repro.core import SimResult, Simulator, make_policy
+from repro.core.columnar import ColumnarState, SnapshotError, run_checkpointed
 from repro.core.vec import VecBatchSimulator, VecLaneError
 from repro.experiments.runner import ExperimentRunner
 from repro.trace.artifact import TraceArtifactCache
@@ -75,6 +76,7 @@ __all__ = [
     "prefetch",
     "prefetch_seed_sweep",
     "run_pairs",
+    "simulate_resumable",
     "sweep_pairs",
 ]
 
@@ -181,6 +183,31 @@ class SweepCostModel:
         self._costs[key] = secs if old is None else 0.5 * old + 0.5 * secs
         self._dirty = True
 
+    def record_partial(
+        self,
+        machine_name: str,
+        simcfg: SimulationConfig,
+        workload: str,
+        policy: str,
+        secs: float,
+        *,
+        resumed_from: int = 0,
+    ) -> None:
+        """Fold a possibly-resumed pair cost into the model.
+
+        A worker that resumed from a checkpoint at ``resumed_from`` only
+        paid wall clock for the cycles past it. Recording that verbatim
+        would teach the model the pair is cheap, and re-recording a full
+        wall time on every redelivery would let repeated preemption
+        double-count; instead the incremental seconds are scaled to a
+        full-run equivalent by the executed fraction of the cycle horizon.
+        ``resumed_from=0`` (a cold run) degenerates to :meth:`record`.
+        """
+        total = simcfg.total_cycles
+        if 0 < resumed_from < total:
+            secs = secs * (total / (total - resumed_from))
+        self.record(machine_name, simcfg, workload, policy, secs)
+
     def save(self) -> None:
         """Persist the model atomically (write-then-rename, same discipline
         as the trace artifacts); a no-op when nothing changed or in-memory."""
@@ -239,6 +266,62 @@ def _simulate_one(
     sim = Simulator(machine, programs, make_policy(policy), simcfg)
     res = sim.run()
     return workload, policy, res, time.perf_counter() - t0
+
+
+def simulate_resumable(
+    machine: MachineConfig,
+    simcfg: SimulationConfig,
+    workload: str,
+    policy: str,
+    *,
+    trace_cache_dir: str | None = None,
+    checkpoint_interval: int = 0,
+    on_checkpoint: Callable[[Simulator], None] | None = None,
+    restore: "ColumnarState | None" = None,
+) -> tuple[SimResult, int, float]:
+    """One preemptible simulation: optionally restore, run, checkpoint.
+
+    The serial sibling of :func:`_simulate_one` the service worker uses for
+    checkpointable jobs. When ``restore`` (a decoded ``ColumnarState``) is
+    given, the fresh simulator is overwritten with it and the run continues
+    from the captured cycle; any :class:`SnapshotError` — version skew, a
+    snapshot for a different config shape — falls open to a cold cycle-0
+    rerun on a pristine simulator rather than failing the job. When
+    ``checkpoint_interval`` is positive, ``on_checkpoint(sim)`` fires at
+    every interval-aligned cycle boundary (see
+    :func:`repro.core.columnar.run_checkpointed`).
+
+    Returns ``(result, resumed_from, secs)`` — ``resumed_from`` is the cycle
+    the run actually continued from (0 = ran cold), and ``secs`` is the
+    incremental in-process wall clock, which pairs with
+    :meth:`SweepCostModel.record_partial` for training.
+    """
+    t0 = time.perf_counter()
+    cache = _worker_trace_cache(trace_cache_dir)
+
+    def build() -> Simulator:
+        try:
+            programs = build_programs(get_workload(workload), simcfg, trace_cache=cache)
+        except KeyError:
+            programs = build_single(workload, simcfg, trace_cache=cache)
+        return Simulator(machine, programs, make_policy(policy), simcfg)
+
+    sim = build()
+    resumed_from = 0
+    if restore is not None:
+        try:
+            restore.restore_into(sim)
+            resumed_from = sim.cycle
+        except SnapshotError:
+            # Fail-open: a partially-applied restore is unusable, so rebuild
+            # a pristine simulator and run from cycle 0.
+            sim = build()
+            resumed_from = 0
+    if checkpoint_interval > 0 and on_checkpoint is not None:
+        res = run_checkpointed(sim, checkpoint_interval, on_checkpoint)
+    else:
+        res = sim.run()
+    return res, resumed_from, time.perf_counter() - t0
 
 
 # ----------------------------------------------------------------------

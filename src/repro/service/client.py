@@ -308,6 +308,28 @@ class ServiceClient:
             raise ServiceError(f"heartbeat failed: HTTP {code}: {payload}", code, payload)
         return payload
 
+    def upload_checkpoint(
+        self, lease_id: str, job_id: str, cycle: int, data_b64: str
+    ) -> dict[str, Any]:
+        """PUT /v1/leases/{id}/checkpoint — store mid-run progress.
+
+        ``data_b64`` is a base64-encoded checkpoint envelope
+        (``repro.core.columnar.checkpoint_to_bytes``). Raises with
+        ``status=410`` once the lease is gone; a 400 means the server
+        rejected the envelope (corrupt, stale, or horizon-mismatched) —
+        both are advisory for the worker, which keeps executing either way.
+        """
+        code, payload, _ = self.request(
+            "PUT",
+            f"/v1/leases/{lease_id}/checkpoint",
+            {"job_id": job_id, "cycle": cycle, "data": data_b64},
+        )
+        if code != 200:
+            raise ServiceError(
+                f"checkpoint upload failed: HTTP {code}: {payload}", code, payload
+            )
+        return payload
+
     def upload_results(self, lease_id: str, results: list[dict[str, Any]]) -> dict[str, Any]:
         """POST /v1/leases/{id}/result — upload outcomes, ending the lease."""
         code, payload, _ = self.request(

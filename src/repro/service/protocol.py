@@ -12,7 +12,10 @@ batching by configuration group — keys on that canonical form.
 Since the distributed-worker extension this module also owns the *lease*
 wire messages: a worker asks for work (:class:`LeaseRequest`), the server
 answers with a :class:`Lease` naming the jobs it handed out, and the worker
-uploads per-job outcomes that :func:`parse_result_upload` validates. The
+uploads per-job outcomes that :func:`parse_result_upload` validates — plus,
+for preemptible execution, mid-run checkpoints that
+:func:`parse_checkpoint_upload` validates and :class:`Checkpoint` records
+(the resume table entry a redelivered lease ships back out). The
 same rule applies throughout — malformed client input raises
 :class:`SpecError` (which the HTTP layer turns into a 4xx), never any other
 exception type.
@@ -23,6 +26,8 @@ but nothing from the server, queue, or store (they all import it).
 
 from __future__ import annotations
 
+import base64
+import binascii
 import dataclasses
 import json
 import math
@@ -35,8 +40,10 @@ from repro.core.policies import canonical_policy_name
 from repro.utils.rng import stable_hash64
 
 __all__ = [
+    "MAX_CHECKPOINT_BYTES",
     "MAX_STREAM_JOBS",
     "PROTOCOL_VERSION",
+    "Checkpoint",
     "Job",
     "JobResult",
     "JobSpec",
@@ -44,6 +51,7 @@ __all__ = [
     "Lease",
     "LeaseRequest",
     "SpecError",
+    "parse_checkpoint_upload",
     "parse_result_upload",
     "parse_stream_request",
     "result_from_payload",
@@ -67,6 +75,13 @@ MAX_WORKER_ID_LEN = 120
 #: Bound on one ``POST /v1/stream`` request: a stream is a sweep, not a
 #: bulk-import channel; bigger sweeps open several streams.
 MAX_STREAM_JOBS = 256
+
+#: Bound on one checkpoint blob (decoded bytes). A mid-run snapshot scales
+#: with in-flight state (pipe/ROB/caches/predictors), not the run horizon,
+#: so test-to-paper-scale checkpoints sit well under this; the cap keeps a
+#: base64-wrapped upload inside the HTTP layer's body limit (512 KiB) and a
+#: hostile oversized upload a clean 400.
+MAX_CHECKPOINT_BYTES = 256 * 1024
 
 
 class SpecError(ValueError):
@@ -231,6 +246,7 @@ class Job:
     worker: str | None = None        # worker id currently (or last) leasing it
     lease_id: str | None = None      # live lease holding the job, if any
     redelivered: int = 0             # lease expiries that requeued this job
+    resumed_from: int = 0            # cycle the completing worker resumed at
 
     @property
     def key(self) -> str:
@@ -260,6 +276,7 @@ class Job:
             "coalesced": self.coalesced,
             "worker": self.worker,
             "redelivered": self.redelivered,
+            "resumed_from": self.resumed_from,
         }
 
 
@@ -339,6 +356,7 @@ class JobResult:
     error: str | None = None
     secs: float = 0.0                # in-worker wall clock for the pair
     retries: int = 0                 # per-pair retries the worker spent
+    resumed_from: int = 0            # cycle resumed from (0 = ran cold)
 
 
 def parse_result_upload(data: Any) -> list[JobResult]:
@@ -365,7 +383,10 @@ def parse_result_upload(data: Any) -> list[JobResult]:
     for i, entry in enumerate(entries):
         if not isinstance(entry, Mapping):
             raise SpecError(f"results[{i}] must be a JSON object")
-        unknown = sorted(set(entry) - {"job_id", "ok", "result", "error", "secs", "retries"})
+        unknown = sorted(
+            set(entry)
+            - {"job_id", "ok", "result", "error", "secs", "retries", "resumed_from"}
+        )
         if unknown:
             raise SpecError(f"results[{i}]: unknown field(s): {', '.join(unknown)}")
         job_id = entry.get("job_id")
@@ -388,6 +409,15 @@ def parse_result_upload(data: Any) -> list[JobResult]:
         retries = entry.get("retries", 0)
         if isinstance(retries, bool) or not isinstance(retries, int) or retries < 0:
             raise SpecError(f"results[{i}].retries must be a non-negative integer")
+        resumed_from = entry.get("resumed_from", 0)
+        if (
+            isinstance(resumed_from, bool)
+            or not isinstance(resumed_from, int)
+            or resumed_from < 0
+        ):
+            raise SpecError(
+                f"results[{i}].resumed_from must be a non-negative integer"
+            )
         out.append(
             JobResult(
                 job_id=job_id,
@@ -396,9 +426,72 @@ def parse_result_upload(data: Any) -> list[JobResult]:
                 error=error if not ok else None,
                 secs=float(secs),
                 retries=retries,
+                resumed_from=resumed_from,
             )
         )
     return out
+
+
+@dataclasses.dataclass
+class Checkpoint:
+    """The latest mid-run snapshot for one job key (server's resume table).
+
+    ``data_b64`` is the base64-encoded checkpoint envelope exactly as
+    uploaded (the server validates it but never re-encodes, so what a
+    resuming worker downloads is byte-identical to what the uploader sent).
+    Keyed by the job's *cache key*: simulations are deterministic functions
+    of their spec, so any checkpoint for the key is a valid resume point for
+    any job with that spec.
+    """
+
+    key: str
+    job_id: str
+    cycle: int
+    total_cycles: int
+    data_b64: str
+    uploaded_at: float = dataclasses.field(default_factory=time.time)
+
+    def grant_dict(self) -> dict[str, Any]:
+        """The form shipped inside a lease grant's job entry."""
+        return {"cycle": self.cycle, "data": self.data_b64}
+
+
+def parse_checkpoint_upload(data: Any) -> tuple[str, int, bytes]:
+    """Validate a ``PUT /v1/leases/{id}/checkpoint`` body.
+
+    The shape is ``{"job_id": str, "cycle": int, "data": base64-str}``.
+    Returns ``(job_id, cycle, raw_bytes)``; anything malformed — unknown
+    fields, bad base64, an oversized blob — raises :class:`SpecError`, so
+    the HTTP layer answers 400 and the resume table is never touched.
+    Envelope-level validation (magic/version/CRC) is the server's next step.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"checkpoint upload must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"job_id", "cycle", "data"})
+    if unknown:
+        raise SpecError(f"unknown checkpoint field(s): {', '.join(unknown)}")
+    job_id = data.get("job_id")
+    if not isinstance(job_id, str) or not job_id:
+        raise SpecError("checkpoint upload must name a non-empty 'job_id'")
+    cycle = data.get("cycle")
+    if isinstance(cycle, bool) or not isinstance(cycle, int) or cycle < 0:
+        raise SpecError("checkpoint 'cycle' must be a non-negative integer")
+    encoded = data.get("data")
+    if not isinstance(encoded, str) or not encoded:
+        raise SpecError("checkpoint upload must carry non-empty base64 'data'")
+    if len(encoded) > 2 * MAX_CHECKPOINT_BYTES:
+        raise SpecError(
+            f"checkpoint larger than {MAX_CHECKPOINT_BYTES} bytes"
+        )
+    try:
+        raw = base64.b64decode(encoded.encode("ascii"), validate=True)
+    except (binascii.Error, ValueError, UnicodeEncodeError) as exc:
+        raise SpecError(f"checkpoint 'data' is not valid base64: {exc}") from exc
+    if len(raw) > MAX_CHECKPOINT_BYTES:
+        raise SpecError(f"checkpoint larger than {MAX_CHECKPOINT_BYTES} bytes")
+    return job_id, cycle, raw
 
 
 def parse_stream_request(data: Any) -> list[Mapping[str, Any]]:

@@ -422,6 +422,13 @@ class SimulationRouter:
             return await self._lease_create(request)
         if path.startswith("/v1/leases/"):
             rid, _, action = path.removeprefix("/v1/leases/").partition("/")
+            if action == "checkpoint":
+                # Checkpoint uploads are PUT (idempotent latest-wins store);
+                # forward verbatim so the owning shard applies its own
+                # validation and the worker sees the shard's exact status.
+                if method != "PUT":
+                    return 405, {"error": "use PUT to upload a checkpoint"}, {}
+                return await self._lease_action(rid, action, request, method="PUT")
             if method != "POST":
                 return 405, {"error": "lease endpoints are POST-only"}, {}
             if action not in ("heartbeat", "result"):
@@ -522,9 +529,11 @@ class SimulationRouter:
         return self._unavailable(order[0])
 
     async def _lease_action(
-        self, rid: str, action: str, request: Request
+        self, rid: str, action: str, request: Request, method: str = "POST"
     ) -> tuple[int, Any, dict[str, str]]:
-        """Heartbeat or result upload: the prefixed lease id names the shard."""
+        """Heartbeat, result or checkpoint upload: the prefixed lease id
+        names the shard; ``method`` passes through verbatim (checkpoint
+        uploads are PUT)."""
         name, raw = self._split_routed(rid)
         if name is None or name not in self.shards:
             return 410, {"error": f"lease {rid!r} names no known shard"}, {}
@@ -535,7 +544,7 @@ class SimulationRouter:
             data = request.json()
         except ValueError as exc:
             return 400, {"error": f"invalid JSON body: {exc}"}, {}
-        reply = await self._forward(shard, "POST", f"/v1/leases/{raw}/{action}", data)
+        reply = await self._forward(shard, method, f"/v1/leases/{raw}/{action}", data)
         if reply is None:
             return self._unavailable(shard)
         return reply
@@ -724,6 +733,7 @@ class SimulationRouter:
         jobs: dict[str, int] = {}
         queue = {"depth": 0, "capacity": 0, "in_flight": 0}
         workers: dict[str, int] = {}
+        checkpoints: dict[str, int] = {}
         # Worker gauges take the max across shards, not the sum: a worker
         # leasing through the router rotates over every shard, so each shard
         # counts the same worker id and summing would multiply the fleet.
@@ -741,6 +751,14 @@ class SimulationRouter:
                     workers[k] = max(workers.get(k, 0), v)
                 else:
                     workers[k] = workers.get(k, 0) + v
+            for k, v in p.get("checkpoints", {}).items():
+                if not isinstance(v, (int, float)):
+                    continue
+                # last_cycle is a high-water gauge; everything else counts.
+                if k == "last_cycle":
+                    checkpoints[k] = max(checkpoints.get(k, 0), v)
+                else:
+                    checkpoints[k] = checkpoints.get(k, 0) + v
         return {
             "router": {
                 **self.counters,
@@ -752,6 +770,7 @@ class SimulationRouter:
             "queue": queue,
             "jobs": jobs,
             "workers": workers,
+            "checkpoints": checkpoints,
             "per_shard": {
                 name: (
                     {

@@ -72,6 +72,7 @@ records ``run_pairs`` writes (in-worker seconds, retries, pool restarts).
 from __future__ import annotations
 
 import asyncio
+import base64
 import contextlib
 import json
 import signal
@@ -99,14 +100,17 @@ from repro.service.http import (
     start_chunked,
     write_chunk,
 )
+from repro.core.columnar import CHECKPOINT_VERSION, SnapshotError, peek_checkpoint
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    Checkpoint,
     Job,
     JobSpec,
     JobState,
     Lease,
     LeaseRequest,
     SpecError,
+    parse_checkpoint_upload,
     parse_result_upload,
     parse_stream_request,
     result_from_payload,
@@ -213,6 +217,11 @@ class SimulationService:
         #: Live leases by id; expired entries are reaped by the housekeeping
         #: tick, consumed ones by their result upload.
         self.leases: dict[str, Lease] = {}
+        #: Latest checkpoint per job *cache key* (the resume table). Kept in
+        #: memory only: a daemon restart loses them and resumed-from-zero is
+        #: the fail-open outcome. TTL'd alongside the result store by the
+        #: housekeeping tick, dropped on job completion, cleared on drain.
+        self.checkpoints: dict[str, Checkpoint] = {}
         #: worker id -> wall-clock of last contact (lease/heartbeat/result).
         self.workers: dict[str, float] = {}
         self.counters = {
@@ -233,6 +242,11 @@ class SimulationService:
             "worker_results": 0,
             "streams": 0,
             "streamed_jobs": 0,
+            "checkpoints_stored": 0,
+            "checkpoints_rejected": 0,
+            "checkpoints_shipped": 0,
+            "checkpoints_expired": 0,
+            "resumed": 0,
         }
         self.started_at = time.time()
         self.port: int | None = None
@@ -283,6 +297,9 @@ class SimulationService:
                     self.queue.finish(job)
                     self.counters["cancelled"] += 1
         self.leases.clear()
+        # Compact the resume table with the leases: every owning job is now
+        # terminal, so nothing can resume from these again.
+        self.checkpoints.clear()
         self._wake.set()  # unblock the dispatcher so it can observe the drain
         await dispatcher
         live = self.store.compact()
@@ -310,6 +327,7 @@ class SimulationService:
                 # time we are back here, so the drain is complete.
                 return
             self._expire_leases()
+            self._evict_checkpoints()
             if not len(self.queue) or self._workers_active():
                 # Idle, or the worker fleet owns the queue: sleep one
                 # housekeeping tick (the timeout keeps lease expiry and the
@@ -425,6 +443,8 @@ class SimulationService:
             job.retries = int(pair.get("retries", 0))
         self.queue.finish(job)
         self.counters["completed"] += 1
+        # The result supersedes any mid-run checkpoint for this key.
+        self.checkpoints.pop(job.key, None)
         self.job_manifest.record_pair(
             "service",
             job.spec.workload,
@@ -442,6 +462,9 @@ class SimulationService:
         job.error = error
         self.queue.finish(job)
         self.counters["failed"] += 1
+        # Terminal: the job is never redelivered, so its resume point is
+        # dead weight — drop it rather than waiting out the TTL.
+        self.checkpoints.pop(job.key, None)
 
     def _retry_after(self) -> float:
         """Client back-off hint when the queue is full: roughly one p50 job
@@ -510,6 +533,11 @@ class SimulationService:
             return self._lease_create(body)
         if path.startswith("/v1/leases/"):
             lease_id, _, action = path.removeprefix("/v1/leases/").partition("/")
+            if action == "checkpoint":
+                # Idempotent replacement of the latest resume point: PUT.
+                if method != "PUT":
+                    return 405, {"error": "use PUT to upload a checkpoint"}, {}
+                return self._lease_checkpoint(lease_id, body)
             if method != "POST":
                 return 405, {"error": "lease endpoints are POST-only"}, {}
             if action == "heartbeat":
@@ -567,6 +595,7 @@ class SimulationService:
             )
             self.queue.finish(job)
             self.counters["dead_letter"] += 1
+            self.checkpoints.pop(job.key, None)  # terminal, like _fail_job
             return
         self.counters["redelivered"] += 1
         self.queue.requeue(job)
@@ -616,14 +645,28 @@ class SimulationService:
             job.worker = req.worker
             job.lease_id = lease.id
         self.counters["leased"] += len(batch)
+        entries = []
+        for job in batch:
+            entry: dict[str, Any] = {
+                "id": job.id,
+                "spec": job.spec.to_dict(),
+                "estimate": estimates[job.id],
+            }
+            # Redelivery resume: ship the latest checkpoint for the job's
+            # key so the new worker continues from the captured cycle
+            # instead of cycle 0. The worker treats it as advisory — any
+            # decode/restore failure falls open to a cold rerun.
+            ckpt = self.checkpoints.get(job.key)
+            if ckpt is not None and ckpt.total_cycles == job.spec.sim_config().total_cycles:
+                entry["checkpoint"] = ckpt.grant_dict()
+                self.counters["checkpoints_shipped"] += 1
+            entries.append(entry)
         return 200, {
             "lease": lease.to_dict(),
             "lease_ttl": self.cfg.lease_ttl,
             "retries": self.cfg.retries,
-            "jobs": [
-                {"id": job.id, "spec": job.spec.to_dict(), "estimate": estimates[job.id]}
-                for job in batch
-            ],
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "jobs": entries,
         }, {}
 
     def _lease_heartbeat(self, lease_id: str) -> tuple[int, dict[str, Any], dict[str, str]]:
@@ -635,6 +678,87 @@ class SimulationService:
         lease.heartbeats += 1
         self.workers[lease.worker] = now
         return 200, {"deadline": lease.deadline, "lease_ttl": self.cfg.lease_ttl}, {}
+
+    def _lease_checkpoint(
+        self, lease_id: str, body: bytes
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """``PUT /v1/leases/{id}/checkpoint``: record a mid-run resume point.
+
+        Every reject path is a clean 4xx and leaves the resume table
+        untouched — a worker whose checkpoint is refused keeps running and
+        the job at worst reruns from cycle 0 (fail-open). An accepted
+        checkpoint also extends the lease deadline: captures ride the
+        heartbeat cadence, so they are proof of life.
+        """
+        lease = self.leases.get(lease_id)
+        if lease is None:
+            return 410, {"error": f"lease {lease_id!r} unknown, expired or consumed"}, {}
+        try:
+            data = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}, {}
+        try:
+            job_id, cycle, raw = parse_checkpoint_upload(data)
+        except SpecError as exc:
+            self.counters["checkpoints_rejected"] += 1
+            return 400, {"error": str(exc)}, {}
+        if job_id not in lease.job_ids:
+            self.counters["checkpoints_rejected"] += 1
+            return 404, {"error": f"job {job_id!r} is not held by lease {lease_id!r}"}, {}
+        job = self.jobs.get(job_id)
+        if job is None or job.state in JobState.TERMINAL:
+            # Completed/cancelled under the worker's feet: nothing to resume.
+            return 200, {"stored": False, "reason": "job is terminal"}, {}
+        try:
+            env_cycle, env_total = peek_checkpoint(raw)
+        except SnapshotError as exc:
+            self.counters["checkpoints_rejected"] += 1
+            return 400, {"error": f"invalid checkpoint envelope: {exc}"}, {}
+        if env_cycle != cycle:
+            self.counters["checkpoints_rejected"] += 1
+            return 400, {
+                "error": f"checkpoint cycle {cycle} != envelope cycle {env_cycle}"
+            }, {}
+        total_spec = job.spec.sim_config().total_cycles
+        if env_total != total_spec or cycle >= total_spec:
+            # Horizon mismatch: a checkpoint from some other (older) shape
+            # of this job can never be a valid resume point for this spec.
+            self.counters["checkpoints_rejected"] += 1
+            return 400, {
+                "error": (
+                    f"checkpoint horizon {env_total} (cycle {cycle}) does not "
+                    f"match job horizon {total_spec}"
+                )
+            }, {}
+        now = time.time()
+        lease.deadline = now + self.cfg.lease_ttl
+        self.workers[lease.worker] = now
+        existing = self.checkpoints.get(job.key)
+        if existing is not None and existing.cycle > cycle:
+            # Latest-cycle-wins; an out-of-order upload is acknowledged but
+            # never regresses the resume point.
+            return 200, {"stored": False, "cycle": existing.cycle}, {}
+        self.checkpoints[job.key] = Checkpoint(
+            key=job.key,
+            job_id=job_id,
+            cycle=cycle,
+            total_cycles=env_total,
+            data_b64=base64.b64encode(raw).decode("ascii"),
+            uploaded_at=now,
+        )
+        self.counters["checkpoints_stored"] += 1
+        return 200, {"stored": True, "cycle": cycle}, {}
+
+    def _evict_checkpoints(self) -> None:
+        """TTL the resume table alongside the result store (housekeeping)."""
+        ttl = self.cfg.ttl
+        if not ttl:
+            return
+        cutoff = time.time() - ttl
+        for key, ckpt in list(self.checkpoints.items()):
+            if ckpt.uploaded_at < cutoff:
+                del self.checkpoints[key]
+                self.counters["checkpoints_expired"] += 1
 
     def _lease_result(
         self, lease_id: str, body: bytes
@@ -689,11 +813,26 @@ class SimulationService:
                     "secs": upload.secs,
                     "retries": upload.retries,
                     "seed": job.spec.seed,
+                    "resumed_from": upload.resumed_from,
                 }
+                if upload.resumed_from:
+                    job.resumed_from = upload.resumed_from
+                    self.counters["resumed"] += 1
                 self._complete_job(job, res, "worker", pair=pair)
                 # Fleet measurements feed the same longest-job-first model
                 # local batches train, so future leases order accurately.
-                cost_model.record(job.spec.machine, job.spec.sim_config(), wl, pol, upload.secs)
+                # A resumed job's wall clock covers only the cycles past its
+                # checkpoint; record_partial scales it to a full-run
+                # equivalent so repeated preemption cannot inflate (or
+                # deflate) the EMA with double-counted or fractional time.
+                cost_model.record_partial(
+                    job.spec.machine,
+                    job.spec.sim_config(),
+                    wl,
+                    pol,
+                    upload.secs,
+                    resumed_from=upload.resumed_from,
+                )
                 self.exec_manifest.record_pair(
                     "worker", wl, pol, "worker", upload.secs,
                     retries=upload.retries, seed=job.spec.seed,
@@ -989,6 +1128,17 @@ class SimulationService:
                 "redelivered": c["redelivered"],
                 "dead_letter": c["dead_letter"],
                 "worker_results": c["worker_results"],
+            },
+            "checkpoints": {
+                "live": len(self.checkpoints),
+                "stored": c["checkpoints_stored"],
+                "rejected": c["checkpoints_rejected"],
+                "shipped": c["checkpoints_shipped"],
+                "expired": c["checkpoints_expired"],
+                "resumed": c["resumed"],
+                "last_cycle": max(
+                    (ck.cycle for ck in self.checkpoints.values()), default=0
+                ),
             },
         }
 

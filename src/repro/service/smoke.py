@@ -17,6 +17,15 @@
   from the owning shard's caches, and a clean SIGTERM drain of the whole
   tree. With ``--workers M`` the workers lease through the router; with
   ``--chaos`` one is SIGKILLed mid-run and the sweep must still finish.
+- **Preemption** (``--preempt [--router]``): boot a checkpointing worker
+  against a short-TTL daemon (or a sharded router), submit one long job,
+  wait until the worker has uploaded a checkpoint past the 50% mark, then
+  SIGKILL it with a second checkpointing worker already leasing. The
+  redelivered lease must ship the stored checkpoint and the heir must
+  finish the job from it — ``resumed_from`` at least the midpoint, the
+  checkpoint metrics (stored/shipped/resumed) all nonzero, exactly one
+  completion, and a clean drain. This is CI's end-to-end gate on the
+  lease protocol's checkpoint/resume path (docs/SERVICE.md).
 - **Bench** (``--bench``): time a 16-job sweep against a lone daemon and
   against 2 workers x ``--concurrency 2``, and require the distributed
   run to be ``--min-speedup`` (default 1.7) times faster — the
@@ -130,18 +139,28 @@ def _boot_router(tmp: Path, shards_n: int, *extra: str) -> tuple[subprocess.Pope
     return proc, port
 
 
-def _boot_worker(port: int, tmp: Path, name: str, concurrency: int = 1) -> subprocess.Popen:
-    return subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.cli", "worker",
-            "--server", f"http://127.0.0.1:{port}",
-            "--worker-id", name,
-            "--concurrency", str(concurrency),
-            "--capacity", "4",
-            "--poll-interval", "0.2",
-            "--trace-cache", str(tmp / f"traces-{name}"),
-        ]
-    )
+def _boot_worker(
+    port: int,
+    tmp: Path,
+    name: str,
+    concurrency: int = 1,
+    *,
+    capacity: int = 4,
+    checkpoint_interval: int = 0,
+    trace_dir: Path | None = None,
+) -> subprocess.Popen:
+    cmd = [
+        sys.executable, "-m", "repro.cli", "worker",
+        "--server", f"http://127.0.0.1:{port}",
+        "--worker-id", name,
+        "--concurrency", str(concurrency),
+        "--capacity", str(capacity),
+        "--poll-interval", "0.2",
+        "--trace-cache", str(trace_dir or tmp / f"traces-{name}"),
+    ]
+    if checkpoint_interval:
+        cmd += ["--checkpoint-interval", str(checkpoint_interval)]
+    return subprocess.Popen(cmd)
 
 
 def _wait_metric(client: ServiceClient, section: str, key: str, minimum: float, timeout: float = 60.0) -> dict:
@@ -350,6 +369,106 @@ def _router_main(tmp: Path, shards_n: int, workers_n: int, chaos: bool) -> int:
         _kill(router, *workers)
 
 
+#: The preemption job: long enough (~seconds of simulation, hundreds of
+#: checkpoint edges at the interval below) that SIGKILLing the first worker
+#: after the 50% mark leaves real work for the heir, with a trace 3x the
+#: window so the run never exhausts records early.
+PREEMPT_SPEC = {
+    "workload": "2-MEM",
+    "policy": "dwarn",
+    "seed": 4242,
+    "warmup_cycles": 200,
+    "measure_cycles": 30_000,
+    "trace_length": 90_000,
+}
+_PREEMPT_TOTAL = PREEMPT_SPEC["warmup_cycles"] + PREEMPT_SPEC["measure_cycles"]
+_PREEMPT_INTERVAL = 64
+
+
+def _preempt_main(tmp: Path, router_mode: bool, shards_n: int) -> int:
+    """The ``--preempt`` mode: checkpointed SIGKILL/resume, end to end."""
+    if router_mode:
+        front, port = _boot_router(
+            tmp, shards_n, "--lease-ttl", "1", "--cooldown", "0.5"
+        )
+    else:
+        front, port, _ = _boot_server(
+            tmp, "--lease-ttl", "1", "--worker-grace", "60"
+        )
+    workers: list[subprocess.Popen] = []
+    # A shared trace cache: the heir must not pay the prey's trace build
+    # again on top of the restore it is being measured on.
+    traces = tmp / "shared-traces"
+    try:
+        client = ServiceClient("127.0.0.1", port, timeout=30.0)
+        prey = _boot_worker(
+            port, tmp, "smoke-prey", capacity=1,
+            checkpoint_interval=_PREEMPT_INTERVAL, trace_dir=traces,
+        )
+        workers.append(prey)
+        _wait_metric(client, "workers", "active", 1, timeout=30.0)
+        topo = f"router ({shards_n} shards)" if router_mode else "daemon"
+        print(f"smoke: checkpointing worker leasing from the {topo} on port {port}")
+
+        job = client.submit(PREEMPT_SPEC)
+        if router_mode and "@" not in job["id"]:
+            raise RuntimeError(f"routed job id carries no shard prefix: {job}")
+        half = _PREEMPT_TOTAL // 2
+        _wait_metric(client, "checkpoints", "last_cycle", half, timeout=120.0)
+        print(f"smoke: checkpoint high-water past cycle {half}/{_PREEMPT_TOTAL}")
+
+        # Boot the heir BEFORE the kill so the daemon keeps deferring to
+        # the worker pool instead of rescuing the job locally from cycle 0.
+        heir = _boot_worker(
+            port, tmp, "smoke-heir", capacity=1,
+            checkpoint_interval=_PREEMPT_INTERVAL, trace_dir=traces,
+        )
+        workers.append(heir)
+        _wait_metric(client, "workers", "active", 2, timeout=30.0)
+        prey.send_signal(signal.SIGKILL)
+        prey.wait(timeout=10)
+        print("smoke: SIGKILLed worker smoke-prey past the midpoint")
+
+        record = client.wait(job["id"], timeout=300.0)
+        if record["state"] != "done" or record["result"]["throughput"] <= 0:
+            raise RuntimeError(f"preempted job did not complete: {record}")
+        if record["source"] != "worker":
+            raise RuntimeError(f"job was not finished by a worker: {record}")
+        status = client.status(job["id"])
+        resumed_from = int(status.get("resumed_from") or 0)
+        if resumed_from < half:
+            raise RuntimeError(
+                f"heir resumed from cycle {resumed_from}, want >= {half} "
+                f"(a cold rerun would report 0): {status}"
+            )
+
+        m = client.metrics()
+        ck = m["checkpoints"]
+        w = m["workers"]
+        print(
+            f"smoke: resumed from cycle {resumed_from}/{_PREEMPT_TOTAL} — "
+            f"{ck['stored']} checkpoints stored, {ck['shipped']} shipped, "
+            f"{ck['resumed']} resumed, {w['lease_expired']} leases expired"
+        )
+        if ck["stored"] < 1 or ck["shipped"] < 1 or ck["resumed"] < 1:
+            raise RuntimeError(f"checkpoint lifecycle counters flat: {ck}")
+        if w["lease_expired"] < 1 or w["redelivered"] < 1:
+            raise RuntimeError(f"kill produced no lease redelivery: {w}")
+        if m["jobs"]["completed"] != 1 or m["jobs"].get("failed") or w["dead_letter"]:
+            raise RuntimeError(f"not exactly-once: {m['jobs']} / {w}")
+
+        front.send_signal(signal.SIGTERM)
+        status_code = front.wait(timeout=60)
+        if status_code != 0:
+            raise RuntimeError(
+                f"frontend exited {status_code} on SIGTERM (want clean drain)"
+            )
+        print("smoke: preempt/resume OK, clean drain")
+        return 0
+    finally:
+        _kill(front, *workers)
+
+
 def _bench_main(tmp: Path, min_speedup: float) -> int:
     specs = _sweep_specs(measure=20_000, trace=40_000)
 
@@ -411,6 +530,12 @@ def main(argv: list[str] | None = None) -> int:
         help="with --router: number of supervised shards (default: 2)",
     )
     parser.add_argument(
+        "--preempt", action="store_true",
+        help="preemption mode: checkpoint, SIGKILL the worker past 50%%, "
+        "require a bit-exact resume on a second worker (add --router to "
+        "run the same scenario through a sharded router)",
+    )
+    parser.add_argument(
         "--bench", action="store_true",
         help="time single-daemon vs 2 workers x concurrency 2",
     )
@@ -430,6 +555,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"bench: SKIPPED — need >= 4 CPUs for a meaningful ratio, have {cores}")
                 return 0
             return _bench_main(tmp, args.min_speedup)
+        if args.preempt:
+            return _preempt_main(tmp, args.router, args.shards)
         if args.router:
             return _router_main(tmp, args.shards, args.workers, args.chaos)
         if args.workers:

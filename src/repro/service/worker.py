@@ -30,6 +30,14 @@ Failure discipline (the chaos tests pin all of this):
   the floor: the lease expires server-side and the jobs are redelivered.
   Exactly-once completion is the *server's* invariant, enforced by the
   lease table; the worker only has to be at-least-once.
+- With ``--checkpoint-interval N`` the worker becomes *preemptible*: jobs
+  run serially through ``simulate_resumable`` and every N cycles the live
+  ``Simulator`` is snapshotted (``checkpoint_to_bytes``) and PUT to
+  ``/v1/leases/{id}/checkpoint``, best-effort. A redelivered lease ships
+  the stored checkpoint back; the worker decodes it fail-open (anything
+  wrong -> run cold from cycle 0) and resumes from the captured cycle,
+  reporting ``resumed_from`` with the result so the server can train its
+  cost model on the *incremental* seconds only.
 
 The HTTP transport is injected (anything with ``ServiceClient.request``'s
 signature), which is how the fault-injection tests interpose
@@ -38,6 +46,8 @@ signature), which is how the fault-injection tests interpose
 
 from __future__ import annotations
 
+import base64
+import binascii
 import os
 import random
 import socket
@@ -46,10 +56,21 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
-from repro.experiments.parallel import SweepCostModel, run_pairs
+from repro.core.columnar import (
+    ColumnarState,
+    SnapshotError,
+    checkpoint_from_bytes,
+    checkpoint_to_bytes,
+)
+from repro.experiments.parallel import SweepCostModel, run_pairs, simulate_resumable
 from repro.obs.manifest import RunManifest
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.protocol import JobSpec, SpecError, result_payload
+from repro.service.protocol import (
+    MAX_CHECKPOINT_BYTES,
+    JobSpec,
+    SpecError,
+    result_payload,
+)
 
 __all__ = ["Worker", "WorkerConfig", "parse_server", "run_worker"]
 
@@ -82,6 +103,7 @@ class WorkerConfig:
     backend: str = "process"             # run_pairs engine: process | vec
     vec_kernel: str = "auto"             # vec stepping engine: auto | array | lane
     trace_cache_dir: str | None = None   # persistent trace artifacts
+    checkpoint_interval: int = 0         # cycles between uploads; 0 = off
     max_leases: int | None = None        # exit after N non-empty leases (tests)
     quiet: bool = False
 
@@ -106,6 +128,10 @@ class Worker:
             "jobs_failed": 0,
             "uploads_gone": 0,     # 410: lease expired/consumed before upload
             "heartbeat_errors": 0,
+            "checkpoints_uploaded": 0,
+            "checkpoint_errors": 0,   # capture failed / server refused / transport
+            "resumes": 0,             # jobs continued from a shipped checkpoint
+            "resumes_rejected": 0,    # shipped checkpoint undecodable -> ran cold
         }
         self._stop = threading.Event()
         self._rng = random.Random()
@@ -207,13 +233,15 @@ class Worker:
         # slow link must not let the lease lapse mid-transfer. (The beat
         # racing the upload's lease consumption may see 410; harmless.)
         try:
-            results = self._run_jobs(entries)
+            results = self._run_jobs(entries, lease_id)
             self._upload(lease_id, results)
         finally:
             hb_stop.set()
             hb.join(timeout=2.0)
 
-    def _run_jobs(self, entries: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    def _run_jobs(
+        self, entries: list[dict[str, Any]], lease_id: str
+    ) -> list[dict[str, Any]]:
         """Execute a lease's jobs; returns upload-ready result entries."""
         jobs: list[tuple[str, JobSpec]] = []
         results: list[dict[str, Any]] = []
@@ -225,6 +253,14 @@ class Worker:
                     {"job_id": str(entry.get("id", "?")), "ok": False,
                      "error": f"worker could not parse leased spec: {exc}"}
                 )
+        if self.cfg.checkpoint_interval > 0:
+            grants = {
+                e["id"]: e["checkpoint"]
+                for e in entries
+                if isinstance(e.get("checkpoint"), dict)
+            }
+            results.extend(self._run_jobs_resumable(jobs, grants, lease_id))
+            return results
         # Server batches are group-homogeneous, but re-group defensively:
         # a mixed lease must not make run_pairs simulate the wrong config.
         groups: dict[tuple, list[tuple[str, JobSpec]]] = {}
@@ -292,6 +328,124 @@ class Worker:
                 )
                 self.stats["jobs_done"] += 1
         return out
+
+    # -- preemptible execution -------------------------------------------
+
+    def _run_jobs_resumable(
+        self,
+        jobs: list[tuple[str, JobSpec]],
+        grants: dict[str, dict[str, Any]],
+        lease_id: str,
+    ) -> list[dict[str, Any]]:
+        """Serial, checkpointing execution of a lease's jobs.
+
+        Each job runs through :func:`simulate_resumable` so that (a) a
+        checkpoint the server shipped with the lease is restored and the
+        run continues from its cycle, and (b) every
+        ``cfg.checkpoint_interval`` cycles the live simulator is captured
+        and PUT back, best-effort. Any per-job failure reports that job
+        failed without poisoning its batch-mates.
+        """
+        out: list[dict[str, Any]] = []
+        for jid, spec in jobs:
+            restore = self._decode_checkpoint(spec, grants.get(jid))
+            if restore is not None:
+                self._log(f"job {jid}: resuming from shipped checkpoint")
+
+            def on_checkpoint(sim: Any, jid: str = jid) -> None:
+                self._upload_checkpoint(lease_id, jid, sim)
+
+            try:
+                res, resumed_from, secs = simulate_resumable(
+                    spec.machine_config(),
+                    spec.sim_config(),
+                    spec.workload,
+                    spec.policy,
+                    trace_cache_dir=self.cfg.trace_cache_dir,
+                    checkpoint_interval=self.cfg.checkpoint_interval,
+                    on_checkpoint=on_checkpoint,
+                    restore=restore,
+                )
+            except Exception as exc:
+                self.stats["jobs_failed"] += 1
+                out.append(
+                    {"job_id": jid, "ok": False, "error": f"worker job failed: {exc}"}
+                )
+                continue
+            if resumed_from:
+                self.stats["resumes"] += 1
+            elif restore is not None:
+                # restore_into itself refused (version skew inside the
+                # snapshot section, config mismatch): simulate_resumable
+                # already fell open to a cold rerun.
+                self.stats["resumes_rejected"] += 1
+            out.append(
+                {
+                    "job_id": jid,
+                    "ok": True,
+                    "result": result_payload(res),
+                    "secs": round(secs, 6),
+                    "retries": 0,
+                    "resumed_from": resumed_from,
+                }
+            )
+            self.stats["jobs_done"] += 1
+        return out
+
+    def _decode_checkpoint(
+        self, spec: JobSpec, grant: dict[str, Any] | None
+    ) -> ColumnarState | None:
+        """Decode a lease-shipped ``{"cycle", "data"}`` grant, fail-open.
+
+        Anything wrong — bad base64, corrupt/truncated/skewed envelope, a
+        horizon that disagrees with the job spec — returns ``None`` and the
+        job runs cold from cycle 0. A stale checkpoint must never be able
+        to fail (or silently corrupt) a job that would succeed without it.
+        """
+        if grant is None:
+            return None
+        try:
+            raw = base64.b64decode(str(grant.get("data", "")).encode("ascii"), validate=True)
+            cycle, total, state = checkpoint_from_bytes(raw)
+        except (SnapshotError, binascii.Error, ValueError, UnicodeEncodeError):
+            self.stats["resumes_rejected"] += 1
+            return None
+        if total != spec.sim_config().total_cycles or not 0 < cycle < total:
+            self.stats["resumes_rejected"] += 1
+            return None
+        return state
+
+    def _upload_checkpoint(self, lease_id: str, job_id: str, sim: Any) -> None:
+        """Capture ``sim`` and PUT the envelope; best-effort by design.
+
+        Every failure mode — uncapturable state, an oversized blob, a dead
+        transport, a 4xx/410 from the server — is counted and swallowed:
+        checkpointing is an optimisation, never a reason to fail the job.
+        """
+        try:
+            blob = checkpoint_to_bytes(sim)
+        except SnapshotError:
+            self.stats["checkpoint_errors"] += 1
+            return
+        if len(blob) > MAX_CHECKPOINT_BYTES:
+            self.stats["checkpoint_errors"] += 1
+            return
+        body = {
+            "job_id": job_id,
+            "cycle": sim.cycle,
+            "data": base64.b64encode(blob).decode("ascii"),
+        }
+        try:
+            status, _, _ = self.transport.request(
+                "PUT", f"/v1/leases/{lease_id}/checkpoint", body
+            )
+        except ServiceError:
+            self.stats["checkpoint_errors"] += 1
+            return
+        if status == 200:
+            self.stats["checkpoints_uploaded"] += 1
+        else:
+            self.stats["checkpoint_errors"] += 1
 
     # -- upload ----------------------------------------------------------
 

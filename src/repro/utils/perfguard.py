@@ -55,6 +55,16 @@ preset) and compares two things against a checked-in baseline file
    machine-readable benchmark artifact (default ``BENCH_vec.json``) for
    trajectory tracking.
 
+7. **Checkpoint-resume win** — ``resume_speedup``: wall-clock of a cold
+   rerun of the guarded microbench pair versus restoring a midpoint
+   checkpoint envelope and finishing the remaining half. Resuming from a
+   >=50% checkpoint must beat the rerun by a hard floor
+   (``resume.min_speedup`` in the baseline, default 1.3x) — the whole
+   point of the lease protocol's preemptible workers — and both arms are
+   asserted bit-identical, so the gate also pins resume correctness. The
+   ratio is self-normalizing (both arms share the host), like the vec
+   speedup gates.
+
 A separate mode, ``--backend-parity``, compares the staged, fused and
 vectorized engines bit-for-bit (results *and* per-thread gating cycles) on
 every guarded pair — the CI gate that pins the vectorized backend
@@ -104,6 +114,7 @@ __all__ = [
     "collect_digests",
     "collect_ingest",
     "collect_obs_overhead",
+    "collect_resume",
     "collect_speed",
     "collect_sweep",
     "collect_vec_digest",
@@ -447,6 +458,93 @@ def collect_vec_digest(repeats: int = _VEC_REPEATS) -> dict[str, Any]:
     }
 
 
+#: Resume-measurement shape: long enough that the half-run saving dwarfs
+#: envelope parse + restore cost, short enough for CI. The trace is 3x the
+#: window so neither arm runs out of records early.
+_RESUME_SIMCFG = dict(
+    warmup_cycles=200, measure_cycles=20_000, trace_length=60_000, seed=777
+)
+_RESUME_WORKLOAD = "4-MIX"
+_RESUME_POLICY = "dwarn"
+_RESUME_REPEATS = 3
+#: CI floor for the resume-vs-rerun speedup (overridable per baseline file
+#: via ``resume.min_speedup``): restoring a midpoint checkpoint and
+#: finishing must beat a cold rerun by at least this factor. The ideal
+#: ratio is ~2x; the floor leaves headroom for restore cost and host noise.
+_RESUME_MIN_SPEEDUP = 1.3
+
+
+def collect_resume(repeats: int = _RESUME_REPEATS) -> dict[str, Any]:
+    """Measure the checkpoint-resume win on the guarded microbench pair.
+
+    One checkpointed run captures a midpoint envelope (and the reference
+    result); then, ``repeats`` times each, alternating arms so host noise
+    lands on both equally:
+
+    - **rerun**: a cold simulation of the full window from cycle 0 — what
+      a lease redelivery costs without a checkpoint;
+    - **resume**: envelope parse, :meth:`ColumnarState.restore_into`, and
+      the remaining half of the window — what a preemptible worker pays.
+
+    Best-of-N wall-clock per arm; both arms are asserted bit-identical to
+    the reference, so a resume that is fast but wrong fails loudly here
+    rather than silently corrupting a sweep.
+    """
+    from repro.core import Simulator, make_policy
+    from repro.core.columnar import (
+        checkpoint_from_bytes,
+        checkpoint_to_bytes,
+        run_checkpointed,
+    )
+    from repro.workloads import build_programs, get_workload
+
+    calib = calibration_score()
+    machine = get_preset("baseline")
+    simcfg = SimulationConfig(**_RESUME_SIMCFG)
+    total = simcfg.total_cycles
+    half = total // 2
+
+    def fresh_sim() -> Simulator:
+        programs = build_programs(get_workload(_RESUME_WORKLOAD), simcfg)
+        return Simulator(machine, programs, make_policy(_RESUME_POLICY), simcfg)
+
+    envelopes: list[bytes] = []
+    reference = run_checkpointed(
+        fresh_sim(), half, lambda s: envelopes.append(checkpoint_to_bytes(s))
+    )
+    envelope = envelopes[0]
+    cycle, _, _ = checkpoint_from_bytes(envelope)
+
+    rerun_secs: list[float] = []
+    resume_secs: list[float] = []
+    for _ in range(repeats):
+        sim = fresh_sim()
+        t0 = time.perf_counter()
+        rerun_res = sim.run()
+        rerun_secs.append(time.perf_counter() - t0)
+
+        sim = fresh_sim()
+        t0 = time.perf_counter()
+        at, _tot, state = checkpoint_from_bytes(envelope)
+        state.restore_into(sim)
+        resume_res = sim.run()  # mid-run resume; commit-limit stops intact
+        resume_secs.append(time.perf_counter() - t0)
+        if rerun_res != reference or resume_res != reference:
+            raise AssertionError("resumed run diverged from cold rerun")
+    best_rerun = min(rerun_secs)
+    best_resume = min(resume_secs)
+    return {
+        "pair": f"{_RESUME_WORKLOAD}/{_RESUME_POLICY}",
+        "checkpoint_cycle": cycle,
+        "total_cycles": total,
+        "envelope_bytes": len(envelope),
+        "rerun_secs": round(best_rerun, 3),
+        "resume_secs": round(best_resume, 3),
+        "resume_speedup": round(best_rerun / best_resume, 2),
+        "calibration_mops": round(calib, 3),
+    }
+
+
 def collect_backend_parity(vec_kernel: str = "auto") -> dict[str, Any]:
     """Run every guarded (workload, policy) pair through all three engines
     — staged ``_step``, fused ``_run_fast``, and the vectorized batch — and
@@ -683,6 +781,29 @@ def compare(
                     f"{cur_vdscore:.1f} < floor {vdfloor:.1f} "
                     f"(baseline {base_vdscore:.1f}, tolerance {tolerance:.0%})"
                 )
+
+    # Checkpoint resume: the speedup over a cold rerun has a hard floor
+    # (the lease protocol's preemptible workers exist to bank this win),
+    # and the checkpoint must genuinely sit at >=50% of the window — a
+    # capture drifting toward cycle 0 would make the gate vacuous.
+    base_res = baseline.get("resume", {})
+    cur_res = current.get("resume", {})
+    if base_res and cur_res:
+        floor_ratio = float(base_res.get("min_speedup", _RESUME_MIN_SPEEDUP))
+        cur_ratio = float(cur_res.get("resume_speedup", 0.0))
+        if cur_ratio < floor_ratio:
+            failures.append(
+                f"resume speedup {cur_ratio:.2f}x below the "
+                f"{floor_ratio:.1f}x floor (midpoint-checkpoint restore vs "
+                "cold rerun)"
+            )
+        at = int(cur_res.get("checkpoint_cycle", 0))
+        total = int(cur_res.get("total_cycles", 0))
+        if total > 0 and at * 2 < total:
+            failures.append(
+                f"resume checkpoint at cycle {at}/{total} is below the 50% "
+                "mark the gate requires"
+            )
     return failures
 
 
@@ -693,6 +814,7 @@ def _build_current(skip_speed: bool, skip_sweep: bool) -> dict[str, Any]:
         current["ingest"] = collect_ingest()
         current["vec"] = collect_vec_speed()
         current["vec_digest"] = collect_vec_digest()
+        current["resume"] = collect_resume()
     if not (skip_speed or skip_sweep):
         current["sweep"] = collect_sweep()
     return current
@@ -950,6 +1072,10 @@ def main(argv: list[str] | None = None) -> int:
             current["vec_digest"]["min_speedup"] = prior.get("vec_digest", {}).get(
                 "min_speedup", _VEC_DIGEST_MIN_SPEEDUP
             )
+        if "resume" in current:
+            current["resume"]["min_speedup"] = prior.get("resume", {}).get(
+                "min_speedup", _RESUME_MIN_SPEEDUP
+            )
         current["service"] = prior.get(
             "service", {"min_jobs_per_min": _SERVICE_MIN_JOBS_PER_MIN}
         )
@@ -979,6 +1105,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline.pop("ingest", None)
         baseline.pop("vec", None)
         baseline.pop("vec_digest", None)
+        baseline.pop("resume", None)
     if args.skip_sweep:
         baseline = dict(baseline)
         baseline.pop("sweep", None)
@@ -1030,6 +1157,14 @@ def main(argv: list[str] | None = None) -> int:
             f"cold serial ({vd['lanes']} lanes, kernel {vd['kernel']}, "
             f"{vd['idle_cycles_skipped']} idle cycles skipped), "
             f"{vd['vec_digest_cycles_per_sec']:,.0f} cycles/s"
+        )
+    res = current.get("resume")
+    if res is not None:
+        print(
+            f"perfguard OK: resume {res['resume_speedup']:.2f}x over cold "
+            f"rerun ({res['pair']}, checkpoint at cycle "
+            f"{res['checkpoint_cycle']}/{res['total_cycles']}, "
+            f"{res['resume_secs']:.2f}s vs {res['rerun_secs']:.2f}s)"
         )
     return 0
 

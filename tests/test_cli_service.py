@@ -8,6 +8,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.columnar import CHECKPOINT_VERSION, SNAPSHOT_VERSION
 from repro.experiments.runner import CACHE_VERSION
 from repro.service.protocol import PROTOCOL_VERSION
 from repro.service.router import ROUTER_VERSION
@@ -27,6 +28,8 @@ class TestVersionCommand:
         assert f"service protocol:      v{PROTOCOL_VERSION}" in out
         assert f"router schema:         v{ROUTER_VERSION}" in out
         assert f"result-store schema:   v{STORE_VERSION}" in out
+        assert f"snapshot codec:        v{SNAPSHOT_VERSION}" in out
+        assert f"checkpoint envelope:   v{CHECKPOINT_VERSION}" in out
 
     def test_artifact_details_shown(self, capsys):
         main(["version"])
@@ -109,6 +112,20 @@ class TestRouteParser:
         assert args.batch_max == 4
         assert args.backend == "vec"
         assert args.lease_ttl == pytest.approx(5.0)
+
+
+class TestWorkerParser:
+    def test_checkpointing_off_by_default(self):
+        args = build_parser().parse_args(["worker"])
+        assert args.command == "worker"
+        assert args.checkpoint_interval == 0
+
+    def test_checkpoint_interval_parses(self):
+        args = build_parser().parse_args(
+            ["worker", "--checkpoint-interval", "5000", "--capacity", "2"]
+        )
+        assert args.checkpoint_interval == 5000
+        assert args.capacity == 2
 
 
 class TestLoadtestParser:

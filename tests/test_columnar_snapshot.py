@@ -128,7 +128,8 @@ def test_resume_on_staged_engine_matches_fused():
 
 
 def test_snapshot_version_constant():
-    assert SNAPSHOT_VERSION == 1
+    # v2: policy-bound EV_CALL markers + meta-policy state (checkpoint PR).
+    assert SNAPSHOT_VERSION == 2
 
 
 def test_corrupt_payload_raises_snapshot_error():

@@ -75,6 +75,50 @@ class TestCompareExisting:
         assert compare(base, _base(), tolerance=0.20) == []
 
 
+def _resume(**overrides):
+    data = {
+        "resume_speedup": 1.8,
+        "checkpoint_cycle": 10_100,
+        "total_cycles": 20_200,
+        "min_speedup": 1.3,
+    }
+    data.update(overrides)
+    return data
+
+
+class TestCompareResume:
+    def test_speedup_above_floor_passes(self):
+        base = _base(resume=_resume())
+        cur = _base(resume=_resume(resume_speedup=1.35))
+        assert compare(base, cur, tolerance=0.20) == []
+
+    def test_speedup_below_floor_fails(self):
+        base = _base(resume=_resume())
+        cur = _base(resume=_resume(resume_speedup=1.1))
+        failures = compare(base, cur, tolerance=0.20)
+        assert len(failures) == 1
+        assert "resume speedup" in failures[0] and "1.3x floor" in failures[0]
+
+    def test_baseline_floor_override(self):
+        base = _base(resume=_resume(min_speedup=2.0))
+        cur = _base(resume=_resume(resume_speedup=1.8))
+        failures = compare(base, cur, tolerance=0.20)
+        assert len(failures) == 1 and "2.0x floor" in failures[0]
+
+    def test_checkpoint_below_midpoint_fails(self):
+        # A capture drifting toward cycle 0 would make the speedup gate
+        # vacuous, so the midpoint requirement is checked independently.
+        base = _base(resume=_resume())
+        cur = _base(resume=_resume(resume_speedup=3.0, checkpoint_cycle=4000))
+        failures = compare(base, cur, tolerance=0.20)
+        assert len(failures) == 1 and "50%" in failures[0]
+
+    def test_missing_resume_sections_are_ignored(self):
+        # Old baselines (no resume section) and --skip-speed runs must pass.
+        assert compare(_base(resume=_resume()), _base(), tolerance=0.20) == []
+        assert compare(_base(), _base(resume=_resume()), tolerance=0.20) == []
+
+
 def _report(**overrides):
     data = {
         "schema": 1,

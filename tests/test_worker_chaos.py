@@ -14,6 +14,12 @@ disposable workers, so these tests attack it directly:
   expiries the job is parked in the terminal ``dead_letter`` state.
 - Two workers draining one mixed sweep: all jobs complete via workers,
   none twice.
+- Preemption: SIGKILL a checkpointing worker after it uploaded mid-run
+  progress — the redelivered lease ships the checkpoint, a *second* worker
+  resumes from the captured cycle (not cycle 0), the job completes exactly
+  once, and the result is bit-identical to an uninterrupted in-process
+  reference run. Repeated both against a direct daemon and through the
+  sharding router (``dwarn-sim route``).
 
 ``FlakyTransport`` wraps the real ``ServiceClient`` and injects faults by
 URL substring — dropped requests raise :class:`ServiceError` exactly as an
@@ -316,6 +322,186 @@ class TestDeadLetter:
             stop.set()
             thread.join(timeout=5)
             srv.kill()
+
+
+#: The preemption scenario's job: long enough (~3-4s of checkpointing
+#: execution at interval 64) that the kill lands well after the midpoint
+#: checkpoint and well before completion.
+PREEMPT_SPEC = {
+    "workload": "2-MEM",
+    "policy": "dwarn",
+    "seed": 4242,
+    "warmup_cycles": 200,
+    "measure_cycles": 30_000,
+    "trace_length": 90_000,
+}
+PREEMPT_TOTAL = PREEMPT_SPEC["warmup_cycles"] + PREEMPT_SPEC["measure_cycles"]
+CHECKPOINT_INTERVAL = 64
+
+
+def _reference_payload(spec: dict) -> dict:
+    """The uninterrupted in-process result the preempted job must match."""
+    from repro.config import SimulationConfig, baseline
+    from repro.core import Simulator, make_policy
+    from repro.service.protocol import result_payload
+    from repro.workloads import build_programs, get_workload
+
+    simcfg = SimulationConfig(
+        warmup_cycles=spec["warmup_cycles"],
+        measure_cycles=spec["measure_cycles"],
+        trace_length=spec["trace_length"],
+        seed=spec["seed"],
+    )
+    programs = build_programs(get_workload(spec["workload"]), simcfg)
+    sim = Simulator(baseline(), programs, make_policy(spec["policy"]), simcfg)
+    return result_payload(sim.run())
+
+
+def _checkpointing_worker_proc(port: int, trace_cache: str, name: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--server", f"http://127.0.0.1:{port}",
+            "--capacity", "1",
+            "--checkpoint-interval", str(CHECKPOINT_INTERVAL),
+            "--worker-id", name,
+            "--trace-cache", trace_cache,
+        ],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _assert_preempted_resume(client: ServiceClient, job: dict) -> dict:
+    """The shared acceptance block: the job finished via a worker, resumed
+    from at least the midpoint, and matches the uninterrupted reference."""
+    record = client.wait(job["id"], timeout=180.0)
+    assert record["state"] == "done"
+    assert record["source"] == "worker"
+    st = client.status(job["id"])
+    assert st["resumed_from"] >= PREEMPT_TOTAL // 2, st
+    assert record["result"] == _reference_payload(PREEMPT_SPEC)
+    m = client.metrics()
+    assert m["checkpoints"]["stored"] >= 1, m
+    assert m["checkpoints"]["shipped"] >= 1, m
+    assert m["checkpoints"]["resumed"] >= 1, m
+    assert m["jobs"]["completed"] == 1, m
+    return m
+
+
+class TestPreemptResume:
+    def test_sigkill_after_checkpoints_resumes_on_second_worker(self, tmp_path):
+        """The headline preemption scenario: worker A checkpoints past 50%,
+        is SIGKILLed, and worker B finishes the job from the shipped
+        checkpoint — exactly once, bit-identical to never being killed."""
+        srv = LiveServer(tmp_path, lease_ttl=1, worker_grace=60)
+        worker_a = None
+        heir = None
+        try:
+            worker_a = _checkpointing_worker_proc(
+                srv.port, str(tmp_path / "shared-traces"), "prey"
+            )
+            _wait_metric(srv.client, ("workers", "active"), 1)
+            job = srv.client.submit(PREEMPT_SPEC)
+            # Let worker A checkpoint past the midpoint...
+            _wait_metric(
+                srv.client, ("checkpoints", "last_cycle"), PREEMPT_TOTAL // 2,
+                timeout=90.0,
+            )
+            # ...boot the heir first (so the daemon keeps deferring to the
+            # fleet instead of rescuing the job locally from cycle 0)...
+            cfg = WorkerConfig(
+                host="127.0.0.1", port=srv.port, worker_id="heir",
+                capacity=1, poll_interval=0.1, quiet=True,
+                checkpoint_interval=CHECKPOINT_INTERVAL,
+                trace_cache_dir=str(tmp_path / "shared-traces"),
+            )
+            heir, thread = _run_worker_thread(
+                cfg, ServiceClient("127.0.0.1", srv.port, timeout=30.0)
+            )
+            # ...then kill -9 the holder mid-run.
+            worker_a.send_signal(signal.SIGKILL)
+            worker_a.wait(timeout=10)
+
+            m = _assert_preempted_resume(srv.client, job)
+            assert m["workers"]["lease_expired"] >= 1, m
+            assert m["workers"]["redelivered"] >= 1, m
+            assert heir.stats["resumes"] == 1, heir.stats
+            assert heir.stats["resumes_rejected"] == 0, heir.stats
+            assert heir.stats["checkpoints_uploaded"] >= 1, heir.stats
+            _assert_exactly_once(srv, [PREEMPT_SPEC])
+        finally:
+            if heir is not None:
+                heir.stop()
+            if worker_a is not None and worker_a.poll() is None:
+                worker_a.kill()
+                worker_a.communicate(timeout=10)
+            srv.kill()
+
+
+class TestPreemptResumeRouted:
+    def test_preempted_job_resumes_through_router(self, tmp_path):
+        """Same preemption story through ``dwarn-sim route``: the checkpoint
+        PUT forwards to the owning shard, the redelivered (shard-prefixed)
+        lease ships it back, and the resumed completion flows through the
+        router's aggregated metrics."""
+        from test_service_router import _wait_port_file
+
+        rpf = tmp_path / "router-port"
+        router = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "route",
+                "--port", "0", "--port-file", str(rpf),
+                "--shards", "2",
+                "--state-dir", str(tmp_path / "router-state"),
+                "--lease-ttl", "1",
+                "--cooldown", "0.5",
+            ],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        worker_a = None
+        heir = None
+        try:
+            port = _wait_port_file(rpf, router)
+            client = ServiceClient("127.0.0.1", port, timeout=30.0)
+            worker_a = _checkpointing_worker_proc(
+                port, str(tmp_path / "shared-traces"), "prey"
+            )
+            _wait_metric(client, ("workers", "active"), 1)
+            job = client.submit(PREEMPT_SPEC)
+            assert "@" in job["id"]  # routed: the id names its shard
+            _wait_metric(
+                client, ("checkpoints", "last_cycle"), PREEMPT_TOTAL // 2,
+                timeout=90.0,
+            )
+            cfg = WorkerConfig(
+                host="127.0.0.1", port=port, worker_id="heir",
+                capacity=1, poll_interval=0.1, quiet=True,
+                checkpoint_interval=CHECKPOINT_INTERVAL,
+                trace_cache_dir=str(tmp_path / "shared-traces"),
+            )
+            heir, thread = _run_worker_thread(
+                cfg, ServiceClient("127.0.0.1", port, timeout=30.0)
+            )
+            worker_a.send_signal(signal.SIGKILL)
+            worker_a.wait(timeout=10)
+
+            _assert_preempted_resume(client, job)
+            assert heir.stats["resumes"] == 1, heir.stats
+        finally:
+            if heir is not None:
+                heir.stop()
+            if worker_a is not None and worker_a.poll() is None:
+                worker_a.kill()
+                worker_a.communicate(timeout=10)
+            # SIGTERM, not SIGKILL: the router must tear down the shard
+            # daemons it supervises.
+            if router.poll() is None:
+                router.terminate()
+                try:
+                    router.communicate(timeout=30)
+                except subprocess.TimeoutExpired:
+                    router.kill()
+                    router.communicate(timeout=10)
 
 
 class TestTwoWorkerSweep:
